@@ -1,0 +1,171 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. 6) and runs Bechamel micro-benchmarks of each
+   algorithm at the default scenario.
+
+     dune exec bench/main.exe            # everything (figures 9-17 + micro + ablation)
+     dune exec bench/main.exe fig9       # one figure
+     dune exec bench/main.exe fig17
+     dune exec bench/main.exe micro
+     dune exec bench/main.exe ablation
+
+   Absolute values depend on this synthetic substrate (see DESIGN.md §2);
+   the paper-shape expectations are recorded in EXPERIMENTS.md. *)
+
+open Tdmd_sim
+
+let reps = 5
+
+(* Set TDMD_BENCH_CSV=<dir> to also dump each figure's series as CSV. *)
+let csv_dir = Sys.getenv_opt "TDMD_BENCH_CSV"
+
+let maybe_csv (result : Experiments.result) =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (result.Experiments.fig_id ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (Report.result_csv result);
+    close_out oc;
+    Printf.printf "(csv written to %s)\n" path
+
+let print_line_figure result =
+  Report.print_result result;
+  maybe_csv result
+
+(* The paper's Fig. 8: what the simulation topologies look like. *)
+let fig8 () =
+  let rng = Tdmd_prelude.Rng.create 8000 in
+  let ark = Tdmd_topo.Ark.generate rng ~n:64 in
+  print_endline "== fig8(a): synthetic Ark infrastructure ==\n";
+  print_string (Tdmd_topo.Topo_stats.render (Tdmd_topo.Topo_stats.compute ark.Tdmd_topo.Ark.graph));
+  let tree = Tdmd_topo.Topo_tree.resize rng (Tdmd_topo.Ark.tree_of rng ark) 22 in
+  print_endline "\n== fig8(b): tree topology (22 vertices, root = hub) ==\n";
+  print_string
+    (Tdmd_topo.Topo_stats.render
+       (Tdmd_topo.Topo_stats.compute (Tdmd_tree.Rooted_tree.to_digraph tree)));
+  let general, dests = Tdmd_topo.Ark.general_of rng ark ~size:30 in
+  Printf.printf "\n== fig8(c): general topology (30 vertices, %d red destinations) ==\n\n"
+    (List.length dests);
+  print_string (Tdmd_topo.Topo_stats.render (Tdmd_topo.Topo_stats.compute general))
+
+let line_figures =
+  [
+    ("fig8", fig8);
+    ("fig9", fun () -> print_line_figure (Experiments.fig9 ~reps ()));
+    ("fig10", fun () -> print_line_figure (Experiments.fig10 ~reps ()));
+    ("fig11", fun () -> print_line_figure (Experiments.fig11 ~reps ()));
+    ("fig12", fun () -> print_line_figure (Experiments.fig12 ~reps ()));
+    ("fig13", fun () -> print_line_figure (Experiments.fig13 ~reps ()));
+    ("fig14", fun () -> print_line_figure (Experiments.fig14 ~reps ()));
+    ("fig15", fun () -> print_line_figure (Experiments.fig15 ~reps ()));
+    ("fig16", fun () -> print_line_figure (Experiments.fig16 ~reps ()));
+    ( "fig17",
+      fun () ->
+        Report.print_grid (Experiments.fig17_tree ());
+        print_newline ();
+        Report.print_grid (Experiments.fig17_general ()) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per algorithm              *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let rng = Tdmd_prelude.Rng.create 4242 in
+  let tree_inst = Scenario.build_tree rng Scenario.default_tree in
+  let tree_general = Tdmd.Instance.Tree.to_general tree_inst in
+  let general_inst = Scenario.build_general rng Scenario.default_general in
+  let kt = Scenario.default_tree.Scenario.k in
+  let kg = Scenario.default_general.Scenario.k in
+  let tests =
+    [
+      Test.make ~name:"GTP (tree)"
+        (Staged.stage (fun () -> ignore (Tdmd.Gtp.run ~budget:kt tree_general)));
+      Test.make ~name:"GTP-CELF (tree)"
+        (Staged.stage (fun () -> ignore (Tdmd.Gtp.run_celf ~budget:kt tree_general)));
+      Test.make ~name:"HAT (tree)"
+        (Staged.stage (fun () -> ignore (Tdmd.Hat.run ~k:kt tree_inst)));
+      Test.make ~name:"DP (tree)"
+        (Staged.stage (fun () -> ignore (Tdmd.Dp.solve ~k:kt tree_inst)));
+      Test.make ~name:"Scaled-DP theta=4 (tree)"
+        (Staged.stage (fun () -> ignore (Tdmd.Scaled_dp.solve ~k:kt ~theta:4 tree_inst)));
+      Test.make ~name:"Best-effort (tree)"
+        (Staged.stage (fun () ->
+             ignore (Tdmd.Baselines.best_effort ~k:kt tree_general)));
+      Test.make ~name:"GTP (general)"
+        (Staged.stage (fun () -> ignore (Tdmd.Gtp.run ~budget:kg general_inst)));
+      Test.make ~name:"Best-effort (general)"
+        (Staged.stage (fun () ->
+             ignore (Tdmd.Baselines.best_effort ~k:kg general_inst)));
+      Test.make ~name:"Random (general)"
+        (Staged.stage (fun () ->
+             ignore (Tdmd.Baselines.random (Tdmd_prelude.Rng.create 7) ~k:kg general_inst)));
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  print_endline "== micro-benchmarks (Bechamel, monotonic clock) ==\n";
+  let t = Tdmd_prelude.Table.create [ "algorithm"; "time per run" ] in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark (Test.make_grouped ~name:"g" [ test ])) in
+      Hashtbl.iter
+        (fun name ols ->
+          let ns =
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> est
+            | _ -> nan
+          in
+          let cell =
+            if Float.is_nan ns then "n/a"
+            else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else Printf.sprintf "%.1f us" (ns /. 1e3)
+          in
+          Tdmd_prelude.Table.add_row t [ name; cell ])
+        results)
+    tests;
+  Tdmd_prelude.Table.print t
+
+let ablation () = Report.print_ablation (Experiments.ablation ())
+
+let run_all () =
+  List.iter
+    (fun (id, f) ->
+      Printf.printf "\n";
+      f ();
+      ignore id)
+    line_figures;
+  print_newline ();
+  micro ();
+  print_newline ();
+  ablation ()
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> run_all ()
+  | [| _; "micro" |] -> micro ()
+  | [| _; "ablation" |] -> ablation ()
+  | [| _; fig |] -> (
+    match List.assoc_opt fig line_figures with
+    | Some f -> f ()
+    | None ->
+      Printf.eprintf
+        "unknown target %s (expected fig8..fig17, micro, ablation)\n" fig;
+      exit 1)
+  | _ ->
+    Printf.eprintf "usage: main.exe [fig8..fig17|micro|ablation]\n";
+    exit 1

@@ -1,0 +1,236 @@
+(* tdmd-cli: generate TDMD instances and solve them from the command
+   line.
+
+     tdmd-cli solve --topology tree --size 22 --k 8 --algo dp
+     tdmd-cli solve --topology general --size 30 --k 10 --algo gtp --lambda 0.2
+     tdmd-cli figures fig9
+     tdmd-cli dot --topology fattree --size 4 > fat.dot *)
+
+open Cmdliner
+open Tdmd_prelude
+
+type topology = Tree | General | Fattree
+
+let topology_conv =
+  let parse = function
+    | "tree" -> Ok Tree
+    | "general" -> Ok General
+    | "fattree" -> Ok Fattree
+    | s -> Error (`Msg (Printf.sprintf "unknown topology %S" s))
+  in
+  let print ppf t =
+    Format.pp_print_string ppf
+      (match t with Tree -> "tree" | General -> "general" | Fattree -> "fattree")
+  in
+  Arg.conv (parse, print)
+
+type algo = Dp | Hat | Gtp | Celf | Random_a | Best_effort | Brute
+
+let algo_conv =
+  let parse = function
+    | "dp" -> Ok Dp
+    | "hat" -> Ok Hat
+    | "gtp" -> Ok Gtp
+    | "celf" -> Ok Celf
+    | "random" -> Ok Random_a
+    | "best-effort" -> Ok Best_effort
+    | "brute" -> Ok Brute
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Dp -> "dp"
+      | Hat -> "hat"
+      | Gtp -> "gtp"
+      | Celf -> "celf"
+      | Random_a -> "random"
+      | Best_effort -> "best-effort"
+      | Brute -> "brute")
+  in
+  Arg.conv (parse, print)
+
+let topology_arg =
+  Arg.(value & opt topology_conv Tree & info [ "topology"; "t" ] ~doc:"tree | general | fattree")
+
+let size_arg = Arg.(value & opt int 22 & info [ "size"; "n" ] ~doc:"Topology size (fat-tree: pod count k, must be even)")
+let k_arg = Arg.(value & opt int 8 & info [ "k"; "budget" ] ~doc:"Middlebox budget")
+let lambda_arg = Arg.(value & opt float 0.5 & info [ "lambda" ] ~doc:"Traffic-changing ratio in [0,1]")
+let density_arg = Arg.(value & opt float 0.5 & info [ "density" ] ~doc:"Flow density")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed")
+let algo_arg =
+  Arg.(value & opt algo_conv Gtp & info [ "algo"; "a" ] ~doc:"dp | hat | gtp | celf | random | best-effort | brute")
+
+let build_instances topology ~size ~lambda ~density ~seed =
+  let rng = Rng.create seed in
+  match topology with
+  | Tree ->
+    let scenario =
+      { Tdmd_sim.Scenario.default_tree with Tdmd_sim.Scenario.size; lambda; density }
+    in
+    let inst = Tdmd_sim.Scenario.build_tree rng scenario in
+    (Some inst, Tdmd.Instance.Tree.to_general inst)
+  | General ->
+    let scenario =
+      { Tdmd_sim.Scenario.default_general with Tdmd_sim.Scenario.size; lambda; density }
+    in
+    (None, Tdmd_sim.Scenario.build_general rng scenario)
+  | Fattree ->
+    let ft = Tdmd_topo.Datacenter.fat_tree size in
+    let g = ft.Tdmd_topo.Datacenter.graph in
+    let hosts = ft.Tdmd_topo.Datacenter.hosts in
+    let collector = List.hd hosts in
+    let flows =
+      List.filteri (fun i _ -> i > 0) hosts
+      |> List.mapi (fun id host ->
+             match Tdmd_graph.Bfs.shortest_path g ~src:host ~dst:collector with
+             | None -> assert false
+             | Some path -> Tdmd_flow.Flow.make ~id ~rate:(1 + Rng.int rng 8) ~path)
+    in
+    (None, Tdmd.Instance.make ~graph:g ~flows ~lambda)
+
+let solve topology size k lambda density seed algo =
+  let tree_inst, general = build_instances topology ~size ~lambda ~density ~seed in
+  let volume = float_of_int (Tdmd.Instance.total_path_volume general) in
+  Printf.printf "instance: %d vertices, %d flows, unprocessed volume %g\n"
+    (Tdmd.Instance.vertex_count general)
+    (Tdmd.Instance.flow_count general)
+    volume;
+  let requires_tree name =
+    match tree_inst with
+    | Some t -> t
+    | None ->
+      Printf.eprintf "%s runs on tree topologies only (use --topology tree)\n" name;
+      exit 2
+  in
+  let (placement, bandwidth, feasible), seconds =
+    Timer.time (fun () ->
+        match algo with
+        | Dp ->
+          let r = Tdmd.Dp.solve ~k (requires_tree "dp") in
+          (r.Tdmd.Dp.placement, r.Tdmd.Dp.bandwidth, r.Tdmd.Dp.feasible)
+        | Hat ->
+          let r = Tdmd.Hat.run ~k (requires_tree "hat") in
+          (r.Tdmd.Hat.placement, r.Tdmd.Hat.bandwidth, r.Tdmd.Hat.feasible)
+        | Gtp ->
+          let r = Tdmd.Gtp.run ~budget:k general in
+          (r.Tdmd.Gtp.placement, r.Tdmd.Gtp.bandwidth, r.Tdmd.Gtp.feasible)
+        | Celf ->
+          let r = Tdmd.Gtp.run_celf ~budget:k general in
+          (r.Tdmd.Gtp.placement, r.Tdmd.Gtp.bandwidth, r.Tdmd.Gtp.feasible)
+        | Random_a ->
+          let r = Tdmd.Baselines.random (Rng.create (seed + 1)) ~k general in
+          (r.Tdmd.Baselines.placement, r.Tdmd.Baselines.bandwidth, r.Tdmd.Baselines.feasible)
+        | Best_effort ->
+          let r = Tdmd.Baselines.best_effort ~k general in
+          (r.Tdmd.Baselines.placement, r.Tdmd.Baselines.bandwidth, r.Tdmd.Baselines.feasible)
+        | Brute ->
+          let r = Tdmd.Brute.solve ~k general in
+          (r.Tdmd.Brute.placement, r.Tdmd.Brute.bandwidth, r.Tdmd.Brute.feasible))
+  in
+  Format.printf "placement: %a\n" Tdmd.Placement.pp placement;
+  Printf.printf "bandwidth: %g  (%.1f%% of unprocessed)\n" bandwidth
+    (100.0 *. bandwidth /. Float.max volume 1.0);
+  Printf.printf "feasible:  %b\n" feasible;
+  Printf.printf "time:      %.3f s\n" seconds
+
+let figures target =
+  let known =
+    [
+      ("fig9", fun () -> Tdmd_sim.Report.print_result (Tdmd_sim.Experiments.fig9 ()));
+      ("fig10", fun () -> Tdmd_sim.Report.print_result (Tdmd_sim.Experiments.fig10 ()));
+      ("fig11", fun () -> Tdmd_sim.Report.print_result (Tdmd_sim.Experiments.fig11 ()));
+      ("fig12", fun () -> Tdmd_sim.Report.print_result (Tdmd_sim.Experiments.fig12 ()));
+      ("fig13", fun () -> Tdmd_sim.Report.print_result (Tdmd_sim.Experiments.fig13 ()));
+      ("fig14", fun () -> Tdmd_sim.Report.print_result (Tdmd_sim.Experiments.fig14 ()));
+      ("fig15", fun () -> Tdmd_sim.Report.print_result (Tdmd_sim.Experiments.fig15 ()));
+      ("fig16", fun () -> Tdmd_sim.Report.print_result (Tdmd_sim.Experiments.fig16 ()));
+      ( "fig17",
+        fun () ->
+          Tdmd_sim.Report.print_grid (Tdmd_sim.Experiments.fig17_tree ());
+          Tdmd_sim.Report.print_grid (Tdmd_sim.Experiments.fig17_general ()) );
+    ]
+  in
+  match List.assoc_opt target known with
+  | Some f -> f ()
+  | None ->
+    Printf.eprintf "unknown figure %s\n" target;
+    exit 2
+
+let dot topology size seed =
+  let rng = Rng.create seed in
+  let g =
+    match topology with
+    | Tree -> Tdmd_tree.Rooted_tree.to_digraph (Tdmd_topo.Topo_tree.random_attachment rng size)
+    | General -> Tdmd_topo.Topo_general.erdos_renyi rng size ~p:0.15
+    | Fattree -> (Tdmd_topo.Datacenter.fat_tree size).Tdmd_topo.Datacenter.graph
+  in
+  print_string (Tdmd_graph.Digraph.to_dot g)
+
+let stats topology size seed =
+  let rng = Rng.create seed in
+  let g =
+    match topology with
+    | Tree -> Tdmd_tree.Rooted_tree.to_digraph (Tdmd_topo.Topo_tree.random_attachment rng size)
+    | General -> fst (Tdmd_topo.Ark.general_of rng (Tdmd_topo.Ark.generate rng ~n:(2 * size)) ~size)
+    | Fattree -> (Tdmd_topo.Datacenter.fat_tree size).Tdmd_topo.Datacenter.graph
+  in
+  print_string (Tdmd_topo.Topo_stats.render (Tdmd_topo.Topo_stats.compute g))
+
+let solve_cmd =
+  let term =
+    Term.(
+      const solve $ topology_arg $ size_arg $ k_arg $ lambda_arg $ density_arg
+      $ seed_arg $ algo_arg)
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Generate an instance and place middleboxes") term
+
+let figures_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc:"fig9..fig17")
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate one of the paper's evaluation figures")
+    Term.(const figures $ target)
+
+let svg topology size seed boxes =
+  let rng = Rng.create seed in
+  let boxes = List.filter_map int_of_string_opt (String.split_on_char ',' boxes) in
+  match topology with
+  | Tree ->
+    print_string
+      (Tdmd_topo.Svg_render.tree ~boxes (Tdmd_topo.Topo_tree.random_attachment rng size))
+  | General ->
+    let graph, dests =
+      Tdmd_topo.Ark.general_of rng (Tdmd_topo.Ark.generate rng ~n:(2 * size)) ~size
+    in
+    print_string (Tdmd_topo.Svg_render.graph ~highlight:dests ~boxes graph)
+  | Fattree ->
+    print_string
+      (Tdmd_topo.Svg_render.graph ~boxes
+         (Tdmd_topo.Datacenter.fat_tree size).Tdmd_topo.Datacenter.graph)
+
+let svg_cmd =
+  let boxes_arg =
+    Arg.(value & opt string "" & info [ "boxes" ] ~doc:"Comma-separated middlebox vertices")
+  in
+  Cmd.v
+    (Cmd.info "svg" ~doc:"Emit a generated topology as SVG (squares = middleboxes)")
+    Term.(const svg $ topology_arg $ size_arg $ seed_arg $ boxes_arg)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print structural statistics of a generated topology")
+    Term.(const stats $ topology_arg $ size_arg $ seed_arg)
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a generated topology as Graphviz DOT")
+    Term.(const dot $ topology_arg $ size_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "tdmd-cli" ~version:"1.0.0"
+      ~doc:"Traffic-diminishing middlebox placement (ICPP 2020 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ solve_cmd; figures_cmd; dot_cmd; stats_cmd; svg_cmd ]))

@@ -1,0 +1,1 @@
+examples/datacenter_fattree.ml: Format List Printf Rng Table Tdmd Tdmd_flow Tdmd_graph Tdmd_prelude Tdmd_topo

@@ -1,0 +1,1 @@
+examples/dynamic_flows.ml: Array List Printf Rng Table Tdmd Tdmd_flow Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_traffic

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Tdmd Tdmd_flow Tdmd_graph Tdmd_prelude

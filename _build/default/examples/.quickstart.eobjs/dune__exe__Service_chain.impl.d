@@ -1,0 +1,1 @@
+examples/service_chain.ml: List Printf Rng String Table Tdmd Tdmd_flow Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_traffic

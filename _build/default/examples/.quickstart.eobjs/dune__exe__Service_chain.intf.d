@@ -1,0 +1,1 @@
+examples/service_chain.mli:

@@ -1,0 +1,1 @@
+examples/spam_filter_cdn.ml: Array Format List Rng Table Tdmd Tdmd_prelude Tdmd_topo Tdmd_traffic Tdmd_tree

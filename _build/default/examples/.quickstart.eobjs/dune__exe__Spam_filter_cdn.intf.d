@@ -1,0 +1,1 @@
+examples/spam_filter_cdn.mli:

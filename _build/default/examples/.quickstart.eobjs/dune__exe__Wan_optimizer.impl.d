@@ -1,0 +1,1 @@
+examples/wan_optimizer.ml: Format List Printf Rng Table Tdmd Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_traffic

@@ -1,0 +1,1 @@
+lib/core/allocation.ml: Array Instance List Placement Tdmd_flow

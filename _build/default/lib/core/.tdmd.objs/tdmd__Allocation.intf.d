@@ -1,0 +1,1 @@
+lib/core/allocation.mli: Instance Placement Tdmd_flow

@@ -1,0 +1,1 @@
+lib/core/bandwidth.ml: Allocation Array Instance Placement Tdmd_flow Tdmd_submod

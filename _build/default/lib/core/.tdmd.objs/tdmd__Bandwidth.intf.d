@@ -1,0 +1,1 @@
+lib/core/bandwidth.mli: Allocation Instance Placement Tdmd_flow Tdmd_submod

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Allocation Bandwidth Cover_fixup Instance List Listx Placement Rng Tdmd_prelude

@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Instance Placement Tdmd_prelude

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Bandwidth Feasibility Float Fun Instance List Placement Tdmd_prelude

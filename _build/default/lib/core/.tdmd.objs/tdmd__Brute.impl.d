@@ -1,0 +1,1 @@
+lib/core/brute.ml: Allocation Bandwidth Instance Placement

@@ -1,0 +1,1 @@
+lib/core/capacitated.ml: Allocation Array Bandwidth Hashtbl Instance List Placement Tdmd_flow

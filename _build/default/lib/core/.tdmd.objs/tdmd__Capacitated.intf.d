@@ -1,0 +1,1 @@
+lib/core/capacitated.mli: Instance Placement

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Instance List Tdmd_flow Tdmd_prelude

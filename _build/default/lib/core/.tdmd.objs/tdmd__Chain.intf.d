@@ -1,0 +1,1 @@
+lib/core/chain.mli: Instance

@@ -1,0 +1,1 @@
+lib/core/cover_fixup.ml: Allocation Instance List Placement Tdmd_flow

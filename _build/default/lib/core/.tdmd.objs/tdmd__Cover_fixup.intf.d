@@ -1,0 +1,1 @@
+lib/core/cover_fixup.mli: Instance Tdmd_flow

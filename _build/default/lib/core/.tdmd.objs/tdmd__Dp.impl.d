@@ -1,0 +1,1 @@
+lib/core/dp.ml: Array Instance List Placement Tdmd_tree

@@ -1,0 +1,1 @@
+lib/core/dp.mli: Instance Placement

@@ -1,0 +1,1 @@
+lib/core/dp_binary.ml: Array Instance List Option Placement Tdmd_tree

@@ -1,0 +1,1 @@
+lib/core/dp_binary.mli: Instance Placement

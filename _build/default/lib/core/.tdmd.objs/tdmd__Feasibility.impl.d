@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Allocation Instance List Placement Tdmd_setcover

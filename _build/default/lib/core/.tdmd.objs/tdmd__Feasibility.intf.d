@@ -1,0 +1,1 @@
+lib/core/feasibility.mli: Instance Placement Tdmd_setcover

@@ -1,0 +1,1 @@
+lib/core/gtp.ml: Allocation Bandwidth Cover_fixup Instance Placement Tdmd_submod

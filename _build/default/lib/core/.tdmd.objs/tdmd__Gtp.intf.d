@@ -1,0 +1,1 @@
+lib/core/gtp.mli: Instance Placement

@@ -1,0 +1,1 @@
+lib/core/hat.ml: Allocation Array Bandwidth Instance List Placement Tdmd_heap Tdmd_tree

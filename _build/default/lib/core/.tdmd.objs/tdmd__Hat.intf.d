@@ -1,0 +1,1 @@
+lib/core/hat.mli: Instance Placement

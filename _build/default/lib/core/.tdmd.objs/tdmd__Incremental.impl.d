@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Allocation Array Bandwidth Cover_fixup Instance List Placement Tdmd_flow Tdmd_graph Tdmd_prelude

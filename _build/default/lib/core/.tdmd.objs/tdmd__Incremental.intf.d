@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Instance Placement Tdmd_flow Tdmd_graph

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array List Tdmd_flow Tdmd_graph Tdmd_tree

@@ -1,0 +1,1 @@
+lib/core/instance.mli: Tdmd_flow Tdmd_graph Tdmd_tree

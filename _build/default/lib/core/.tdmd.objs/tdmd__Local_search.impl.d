@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Allocation Bandwidth Instance List Placement

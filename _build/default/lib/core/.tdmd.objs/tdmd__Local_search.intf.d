@@ -1,0 +1,1 @@
+lib/core/local_search.mli: Instance Placement

@@ -1,0 +1,1 @@
+lib/core/placement.ml: Format List

@@ -1,0 +1,1 @@
+lib/core/scaled_dp.ml: Array Bandwidth Dp Instance List Placement Tdmd_flow

@@ -1,0 +1,1 @@
+lib/core/scaled_dp.mli: Instance Placement

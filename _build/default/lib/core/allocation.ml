@@ -1,0 +1,26 @@
+module Flow = Tdmd_flow.Flow
+
+type serving =
+  | Unserved
+  | Served_at of { vertex : int; l : int }
+
+let serve placement f =
+  let path = f.Flow.path in
+  let rec scan i =
+    if i = Array.length path then Unserved
+    else if Placement.mem placement path.(i) then Served_at { vertex = path.(i); l = i }
+    else scan (i + 1)
+  in
+  scan 0
+
+let all instance placement =
+  Array.map (serve placement) instance.Instance.flows
+
+let is_feasible instance placement =
+  Array.for_all
+    (fun f -> serve placement f <> Unserved)
+    instance.Instance.flows
+
+let unserved instance placement =
+  Array.to_list instance.Instance.flows
+  |> List.filter (fun f -> serve placement f = Unserved)

@@ -1,0 +1,23 @@
+(** Flow allocation F (paper Sec. 3.1).
+
+    Once the deployment P is fixed, the optimal allocation is forced:
+    each flow is served by the deployed middlebox *nearest its source*
+    (maximal l_v(f)) — every packet is processed exactly once, as early
+    as possible.  Because paths are listed source-first, that middlebox
+    is the first placed vertex along the path. *)
+
+type serving =
+  | Unserved                       (** no middlebox on the flow's path *)
+  | Served_at of { vertex : int; l : int }
+      (** serving vertex and its l_v(f) edge offset from the source *)
+
+val serve : Placement.t -> Tdmd_flow.Flow.t -> serving
+
+val all : Instance.t -> Placement.t -> serving array
+(** Indexed like the instance's flow array. *)
+
+val is_feasible : Instance.t -> Placement.t -> bool
+(** Every flow served (paper Eq. 4) — the property whose k-budgeted
+    check is NP-hard (Theorem 1). *)
+
+val unserved : Instance.t -> Placement.t -> Tdmd_flow.Flow.t list

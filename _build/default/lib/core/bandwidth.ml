@@ -1,0 +1,49 @@
+module Flow = Tdmd_flow.Flow
+
+let flow_consumption ~lambda f serving =
+  let r = float_of_int f.Flow.rate in
+  let hops = float_of_int (Flow.hop_count f) in
+  match serving with
+  | Allocation.Unserved -> r *. hops
+  | Allocation.Served_at { l; _ } ->
+    let l = float_of_int l in
+    (r *. l) +. (lambda *. r *. (hops -. l))
+
+let total instance placement =
+  let lambda = instance.Instance.lambda in
+  Array.fold_left
+    (fun acc f -> acc +. flow_consumption ~lambda f (Allocation.serve placement f))
+    0.0 instance.Instance.flows
+
+let unprocessed_volume instance = float_of_int (Instance.total_path_volume instance)
+
+(* Σ_f r_f · (#edges carried at the diminished rate): an integer, so
+   d(P) = (1-λ)·diminished_volume with no accumulated rounding. *)
+let diminished_volume instance placement =
+  Array.fold_left
+    (fun acc f ->
+      match Allocation.serve placement f with
+      | Allocation.Unserved -> acc
+      | Allocation.Served_at { l; _ } -> acc + (f.Flow.rate * (Flow.hop_count f - l)))
+    0 instance.Instance.flows
+
+let decrement instance placement =
+  (1.0 -. instance.Instance.lambda)
+  *. float_of_int (diminished_volume instance placement)
+
+let marginal instance placement v =
+  decrement instance (Placement.add placement v) -. decrement instance placement
+
+let max_decrement instance =
+  (1.0 -. instance.Instance.lambda) *. unprocessed_volume instance
+
+(* The oracle drops the positive (1-λ) factor: argmax selection is
+   unchanged, and integer-valued floats make every greedy comparison
+   exact — submodularity then holds bit-for-bit, which the CELF lazy
+   evaluation's "cached gains are upper bounds" invariant needs. *)
+let oracle instance =
+  {
+    Tdmd_submod.Submodular.ground = Instance.vertex_count instance;
+    value =
+      (fun vs -> float_of_int (diminished_volume instance (Placement.of_list vs)));
+  }

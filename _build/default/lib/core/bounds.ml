@@ -1,0 +1,31 @@
+type t = {
+  unprocessed : float;
+  all_sources : float;
+  k_lower : float;
+  k_upper : float;
+}
+
+let compute ~k instance =
+  let unprocessed = float_of_int (Instance.total_path_volume instance) in
+  let lambda = instance.Instance.lambda in
+  let all_sources = lambda *. unprocessed in
+  let n = Instance.vertex_count instance in
+  let singles =
+    List.init n (fun v -> Bandwidth.marginal instance Placement.empty v)
+    |> List.sort (fun a b -> compare b a)
+  in
+  let top_k = Tdmd_prelude.Listx.sum_by Fun.id (Tdmd_prelude.Listx.take k singles) in
+  let k_lower = Float.max all_sources (unprocessed -. top_k) in
+  let k_upper =
+    match Feasibility.greedy_cover instance with
+    | Some cover when Placement.size cover <= k ->
+      (* A feasible deployment exists within budget; its bandwidth is an
+         upper bound on the optimum. *)
+      Bandwidth.total instance cover
+    | _ -> unprocessed
+  in
+  { unprocessed; all_sources; k_lower; k_upper }
+
+let check ~k instance bw =
+  let b = compute ~k instance in
+  bw >= b.k_lower -. 1e-6 && bw <= b.unprocessed +. 1e-6

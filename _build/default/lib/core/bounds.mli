@@ -1,0 +1,24 @@
+(** Analytic bounds on the optimum b(P{^*}) used to sanity-band every
+    solver (and to normalise bench output).
+
+    From Lemma 1: with unlimited middleboxes the bandwidth cannot go
+    below λ·Σ r_f·|p_f| (every flow served at its source), and with
+    none it is exactly Σ r_f·|p_f|.  With a budget k, submodularity of
+    the decrement gives d(P) ≤ Σ_{v∈P} d({v}), so the sum of the k
+    largest singleton decrements upper-bounds the achievable decrement —
+    a valid k-aware lower bound on bandwidth. *)
+
+type t = {
+  unprocessed : float;        (** Σ r_f·|p_f| — no middlebox at all *)
+  all_sources : float;        (** λ·Σ r_f·|p_f| — Lemma 1's floor *)
+  k_lower : float;            (** max(all_sources, volume − top-k singleton decrements) *)
+  k_upper : float;            (** bandwidth of a greedy-cover deployment of ≤ k boxes,
+                                  or [unprocessed] when none exists *)
+}
+
+val compute : k:int -> Instance.t -> t
+
+val check : k:int -> Instance.t -> float -> bool
+(** [check ~k inst bw]: does a reported feasible bandwidth fall inside
+    [k_lower -. eps, unprocessed +. eps]?  Used by property tests as a
+    cheap solver sanity net. *)

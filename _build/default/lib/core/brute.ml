@@ -1,0 +1,51 @@
+type report = {
+  placement : Placement.t;
+  bandwidth : float;
+  feasible : bool;
+  subsets : int;
+}
+
+let binomial n k =
+  let k = min k (n - k) in
+  if k < 0 then 0
+  else begin
+    let rec go acc i = if i > k then acc else go (acc * (n - i + 1) / i) (i + 1) in
+    go 1 1
+  end
+
+let solve ~k instance =
+  let n = Instance.vertex_count instance in
+  let k = min k n in
+  let total =
+    let rec sum acc j = if j > k then acc else sum (acc + binomial n j) (j + 1) in
+    sum 0 0
+  in
+  if total > 10_000_000 then invalid_arg "Brute.solve: instance too large";
+  let best = ref None in
+  let count = ref 0 in
+  (* Enumerate subsets of size <= k as sorted int lists. *)
+  let rec enum start chosen size =
+    incr count;
+    let placement = Placement.of_list chosen in
+    if Allocation.is_feasible instance placement then begin
+      let bw = Bandwidth.total instance placement in
+      match !best with
+      | Some (_, best_bw) when best_bw <= bw -> ()
+      | _ -> best := Some (placement, bw)
+    end;
+    if size < k then
+      for v = start to n - 1 do
+        enum (v + 1) (v :: chosen) (size + 1)
+      done
+  in
+  enum 0 [] 0;
+  match !best with
+  | Some (placement, bandwidth) ->
+    { placement; bandwidth; feasible = true; subsets = !count }
+  | None ->
+    {
+      placement = Placement.empty;
+      bandwidth = float_of_int (Instance.total_path_volume instance);
+      feasible = false;
+      subsets = !count;
+    }

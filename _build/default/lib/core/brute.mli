@@ -1,0 +1,17 @@
+(** Exhaustive optimal solver for small instances.
+
+    Enumerates every vertex subset of size ≤ k and keeps the feasible
+    one with minimum bandwidth.  Exponential — the oracle the property
+    tests use to certify DP optimality and to bound GTP/HAT
+    sub-optimality on random small instances.
+
+    @raise Invalid_argument when C(|V|, k) would exceed ~10⁷ subsets. *)
+
+type report = {
+  placement : Placement.t;
+  bandwidth : float;
+  feasible : bool;  (** false when no subset of size ≤ k serves all flows *)
+  subsets : int;    (** subsets examined *)
+}
+
+val solve : k:int -> Instance.t -> report

@@ -1,0 +1,35 @@
+(** Extension: per-middlebox processing capacity.
+
+    The paper assumes uncapacitated middleboxes ("a middlebox does not
+    have a capacity limit", Sec. 1) and cites capacity-aware placement
+    as the neighbouring problem (Sallam & Ji, INFOCOM 2019).  This
+    module adds the natural capacitated variant as a library extension:
+    a deployed box can process at most [capacity] total flow rate.
+
+    Allocation is no longer forced: we use the first-fit rule — flows
+    in descending rate order each take the earliest deployed box on
+    their path with spare capacity.  The solver is the GTP greedy run
+    against this capacitated allocation (the objective is no longer
+    guaranteed submodular, so the (1 − 1/e) bound does not carry over —
+    an ablation bench quantifies the gap empirically). *)
+
+type assignment = {
+  served : (int * int) list;  (** (flow id, serving vertex) *)
+  unserved : int list;        (** flow ids *)
+  bandwidth : float;
+}
+
+val allocate : Instance.t -> capacity:int -> Placement.t -> assignment
+(** First-fit capacitated allocation for a fixed deployment. *)
+
+type report = {
+  placement : Placement.t;
+  bandwidth : float;
+  feasible : bool;
+  unserved_flows : int;
+}
+
+val greedy : k:int -> capacity:int -> Instance.t -> report
+(** Capacitated greedy: repeatedly add the vertex whose addition lowers
+    the capacitated bandwidth most (covering unserved flows counts as a
+    reduction from their full-rate consumption), up to [k] boxes. *)

@@ -1,0 +1,42 @@
+let best_cover_vertex instance chosen unserved =
+  let n = Instance.vertex_count instance in
+  let best = ref (-1) and best_cover = ref 0 in
+  for v = 0 to n - 1 do
+    if not (List.mem v chosen) then begin
+      let c =
+        List.length (List.filter (fun f -> Tdmd_flow.Flow.mem_vertex f v) unserved)
+      in
+      if c > !best_cover then begin
+        best := v;
+        best_cover := c
+      end
+    end
+  done;
+  if !best < 0 then None else Some !best
+
+let within instance ~chosen ~budget =
+  let feasible vs = Allocation.unserved instance (Placement.of_list vs) = [] in
+  let rec extend vs =
+    if feasible vs || List.length vs >= budget then vs
+    else begin
+      match
+        best_cover_vertex instance vs
+          (Allocation.unserved instance (Placement.of_list vs))
+      with
+      | None -> vs
+      | Some v -> extend (vs @ [ v ])
+    end
+  in
+  (* Keep ever-shorter prefixes (dropping the lowest-value picks first)
+     until covering picks fit in the budget. *)
+  let rec attempt kept fallback =
+    let candidate = extend kept in
+    let fallback = match fallback with Some f -> Some f | None -> Some candidate in
+    if feasible candidate then candidate
+    else begin
+      match List.rev kept with
+      | [] -> (match fallback with Some f -> f | None -> candidate)
+      | _ :: rest_rev -> attempt (List.rev rest_rev) fallback
+    end
+  in
+  attempt chosen None

@@ -1,0 +1,19 @@
+(** Feasibility fix-up shared by the budgeted solvers.
+
+    The paper's evaluation only scores feasible deployments; when a
+    ranking-based selection leaves flows unserved within the budget k,
+    the walkthrough of Fig. 1 (k = 2) shows the paper swapping the
+    lowest-value pick for one that covers the stragglers.  [within]
+    implements exactly that: spend leftover budget on covering picks
+    (most unserved flows first, as the set-cover greedy does), then if
+    still infeasible, drop the latest picks one at a time and re-cover. *)
+
+val best_cover_vertex : Instance.t -> int list -> Tdmd_flow.Flow.t list -> int option
+(** Vertex covering the most of the given unserved flows, excluding
+    already-chosen ones; [None] if no vertex covers any. *)
+
+val within : Instance.t -> chosen:int list -> budget:int -> int list
+(** [within inst ~chosen ~budget] takes picks in selection order (most
+    recent last) and returns a selection-order list of size <= budget
+    that is feasible whenever any feasible deployment of size <= budget
+    containing a prefix of [chosen] exists. *)

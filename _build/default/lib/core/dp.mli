@@ -1,0 +1,50 @@
+(** Optimal dynamic programming on trees (paper Sec. 5.1, Eqs. 7–10).
+
+    States follow the paper with one uniform convention, validated
+    against every worked number in Figs. 5–7 (see
+    [test/test_paper_examples.ml]):
+
+    - [P(v, κ, b)] = minimum bandwidth consumed on the edges *strictly
+      inside* the subtree [T_v] (v's own uplink is charged by v's
+      parent) using *exactly* [κ] middleboxes in [T_v], with flows of
+      total initial rate *exactly* [b] processed somewhere in [T_v].
+    - [F(v, k) = min_{κ ≤ k} P(v, κ, R_v)] where [R_v] is the total
+      rate sourced in [T_v] — the fully-served value with budget [k].
+
+    Children are merged sequentially (a knapsack over (κ, b) pairs),
+    which generalises the binary-tree formulation of Eqs. 7–8 to
+    arbitrary branching.  A box at [v] processes every flow not already
+    served below, at uplink cost [λ·b + (R_c − b)] per child uplink —
+    exactly the paper's terms.  The budget relaxation happens at query
+    time, so a single table build answers all [k' ≤ k_max].
+
+    Rates must be integral (the DP is pseudo-polynomial in
+    [r_max = max_f r_f], Theorem 5); see {!Scaled_dp} for arbitrary
+    rates.  Optimality is cross-checked against {!Brute} in the
+    property tests. *)
+
+type report = {
+  placement : Placement.t;
+  bandwidth : float;   (** b(P, F) = the DP optimum *)
+  feasible : bool;     (** false only when [k = 0] and flows exist *)
+  states : int;        (** DP states materialised (ablation metric) *)
+}
+
+val solve : k:int -> Instance.Tree.t -> report
+(** Optimal deployment of at most [k] middleboxes.  Traceback
+    reconstructs an optimal placement, whose evaluated bandwidth equals
+    the DP value (asserted in tests). *)
+
+type tables
+(** Fully materialised DP tables, for table-level inspection. *)
+
+val build : k_max:int -> Instance.Tree.t -> tables
+
+val f_value : tables -> v:int -> k:int -> float
+(** The paper's F(v, k) (Fig. 6); [infinity] when infeasible. *)
+
+val p_value : tables -> v:int -> k:int -> b:int -> float
+(** The paper's P(v, k, b) (Fig. 7) under the budget reading
+    [min_{κ ≤ k}]; [infinity] for unachievable [b]. *)
+
+val state_count : tables -> int

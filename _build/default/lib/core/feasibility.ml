@@ -1,0 +1,19 @@
+let check instance placement = Allocation.is_feasible instance placement
+
+let to_setcover instance =
+  Tdmd_setcover.Reduction.of_flows
+    ~vertex_count:(Instance.vertex_count instance)
+    (Instance.flows instance)
+
+let feasible_exists instance ~k =
+  Tdmd_setcover.Setcover.decision (to_setcover instance) ~k
+
+let min_middleboxes instance =
+  match Tdmd_setcover.Setcover.exact (to_setcover instance) with
+  | Some cover -> List.length cover
+  | None -> invalid_arg "Feasibility.min_middleboxes: some flow visits no vertex"
+
+let greedy_cover instance =
+  match Tdmd_setcover.Setcover.greedy (to_setcover instance) with
+  | Some cover -> Some (Placement.of_list cover)
+  | None -> None

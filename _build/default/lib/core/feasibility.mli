@@ -1,0 +1,24 @@
+(** Feasibility of TDMD deployments (paper Theorem 1).
+
+    Checking a *given* deployment is linear (Theorem 1's first step);
+    deciding whether *some* deployment of k boxes serves all flows is
+    NP-hard via set cover — this module wires the instance to the
+    {!Tdmd_setcover} reductions so the hardness construction itself is
+    executable and tested. *)
+
+val check : Instance.t -> Placement.t -> bool
+(** O(Σ|p_f|): every flow has a middlebox on its path. *)
+
+val to_setcover : Instance.t -> Tdmd_setcover.Setcover.t
+(** Backward reduction: universe = flows, set v = flows through v. *)
+
+val feasible_exists : Instance.t -> k:int -> bool
+(** Exact decision via {!Tdmd_setcover.Setcover.exact} (small instances
+    only, ≤ 62 flows). *)
+
+val min_middleboxes : Instance.t -> int
+(** Exact minimum k for which a feasible deployment exists. *)
+
+val greedy_cover : Instance.t -> Placement.t option
+(** ln(n)-approximate cover via the set-cover greedy — an upper bound
+    on {!min_middleboxes} at any scale. *)

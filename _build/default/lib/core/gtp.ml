@@ -1,0 +1,51 @@
+type report = {
+  placement : Placement.t;
+  bandwidth : float;
+  decrement : float;
+  feasible : bool;
+  oracle_calls : int;
+}
+
+let report_of instance ~oracle_calls chosen =
+  let placement = Placement.of_list chosen in
+  {
+    placement;
+    bandwidth = Bandwidth.total instance placement;
+    decrement = Bandwidth.decrement instance placement;
+    feasible = Allocation.is_feasible instance placement;
+    oracle_calls;
+  }
+
+let run_with selector ?budget instance =
+  let budget =
+    match budget with Some k -> k | None -> Instance.vertex_count instance
+  in
+  let oracle = Bandwidth.oracle instance in
+  (* Spend the whole budget: the greedy keeps deploying while any vertex
+     has positive marginal decrement (bandwidth only improves), and the
+     fix-up then covers any still-unserved flows. *)
+  let sel = selector ~stop:(fun _ -> false) ~k:budget oracle in
+  let chosen =
+    Cover_fixup.within instance ~chosen:sel.Tdmd_submod.Submodular.chosen ~budget
+  in
+  report_of instance ~oracle_calls:sel.Tdmd_submod.Submodular.oracle_calls chosen
+
+let run ?budget instance =
+  run_with (fun ~stop ~k o -> Tdmd_submod.Submodular.greedy ~stop ~k o) ?budget instance
+
+let run_celf ?budget instance =
+  run_with (fun ~stop ~k o -> Tdmd_submod.Submodular.lazy_greedy ~stop ~k o) ?budget instance
+
+let derived_k instance =
+  (* Alg. 1 verbatim: deploy the max-marginal vertex until every flow is
+     processed; the number of boxes it used is the derived k. *)
+  let oracle = Bandwidth.oracle instance in
+  let stop chosen = Allocation.is_feasible instance (Placement.of_list chosen) in
+  let sel =
+    Tdmd_submod.Submodular.greedy ~stop ~k:(Instance.vertex_count instance) oracle
+  in
+  let chosen =
+    Cover_fixup.within instance ~chosen:sel.Tdmd_submod.Submodular.chosen
+      ~budget:(Instance.vertex_count instance)
+  in
+  Placement.size (Placement.of_list chosen)

@@ -1,0 +1,81 @@
+module Rt = Tdmd_tree.Rooted_tree
+
+type report = {
+  placement : Placement.t;
+  bandwidth : float;
+  feasible : bool;
+  merges : int;
+}
+
+let merged_placement lca placement i j =
+  let a = Tdmd_tree.Lca.query lca i j in
+  Placement.add (Placement.remove (Placement.remove placement i) j) a
+
+let delta_general general lca placement i j =
+  let after = merged_placement lca placement i j in
+  Bandwidth.total general after -. Bandwidth.total general placement
+
+let delta_b inst placement i j =
+  let lca = Tdmd_tree.Lca.build inst.Instance.Tree.tree in
+  delta_general (Instance.Tree.to_general inst) lca placement i j
+
+let run ~k inst =
+  let tree = inst.Instance.Tree.tree in
+  let general = Instance.Tree.to_general inst in
+  let lca = Tdmd_tree.Lca.build tree in
+  let placement = ref (Placement.of_list (Rt.leaves tree)) in
+  let round = ref 0 in
+  let delta p i j = delta_general general lca p i j in
+  (* Heap of (penalty, i, j, round-stamp); ties broken by vertex ids so
+     runs are deterministic (and match the paper's k = 2 walkthrough). *)
+  let cmp (d1, i1, j1, _) (d2, i2, j2, _) = compare (d1, i1, j1) (d2, i2, j2) in
+  let heap = Tdmd_heap.Binary_heap.create ~cmp () in
+  let push_pair i j =
+    let i, j = if i < j then (i, j) else (j, i) in
+    Tdmd_heap.Binary_heap.push heap (delta !placement i j, i, j, !round)
+  in
+  let push_all_pairs () =
+    let vs = Array.of_list (Placement.to_list !placement) in
+    let n = Array.length vs in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        push_pair vs.(a) vs.(b)
+      done
+    done
+  in
+  push_all_pairs ();
+  let merges = ref 0 in
+  while Placement.size !placement > max k 1 do
+    match Tdmd_heap.Binary_heap.pop heap with
+    | None ->
+      (* All entries went stale together; rebuild the pair set. *)
+      push_all_pairs ()
+    | Some (stored, i, j, stamp) ->
+      if Placement.mem !placement i && Placement.mem !placement j then begin
+        let fresh = if stamp = !round then stored else delta !placement i j in
+        let next_is_worse =
+          match Tdmd_heap.Binary_heap.peek heap with
+          | None -> true
+          | Some (d, _, _, _) -> fresh <= d
+        in
+        if stamp = !round || next_is_worse then begin
+          let a = Tdmd_tree.Lca.query lca i j in
+          placement := merged_placement lca !placement i j;
+          incr round;
+          incr merges;
+          (* Paper's heap update: pairs with i or j die (filtered lazily
+             above); pairs with the LCA are inserted. *)
+          List.iter
+            (fun v -> if v <> a then push_pair v a)
+            (Placement.to_list !placement)
+        end
+        else Tdmd_heap.Binary_heap.push heap (fresh, i, j, !round)
+      end
+  done;
+  let placement = !placement in
+  {
+    placement;
+    bandwidth = Bandwidth.total general placement;
+    feasible = Allocation.is_feasible general placement;
+    merges = !merges;
+  }

@@ -1,0 +1,104 @@
+module Flow = Tdmd_flow.Flow
+
+type t = {
+  graph : Tdmd_graph.Digraph.t;
+  lambda : float;
+  k : int;
+  mutable current : Flow.t list;  (* arrival order *)
+  mutable placed : int list;      (* deployment, selection order *)
+  mutable moves : int;
+}
+
+let create ~graph ~lambda ~k =
+  if k < 1 then invalid_arg "Incremental.create: k must be >= 1";
+  { graph; lambda; k; current = []; placed = []; moves = 0 }
+
+let instance t =
+  Instance.make ~graph:t.graph ~flows:t.current ~lambda:t.lambda
+
+let placement t = Placement.of_list t.placed
+
+let flows t = t.current
+let bandwidth t = Bandwidth.total (instance t) (placement t)
+let feasible t = Allocation.is_feasible (instance t) (placement t)
+let moves t = t.moves
+
+let set_placed t placed =
+  let before = Placement.of_list t.placed in
+  let after = Placement.of_list placed in
+  let added =
+    List.length (List.filter (fun v -> not (Placement.mem before v)) (Placement.to_list after))
+  in
+  let removed =
+    List.length (List.filter (fun v -> not (Placement.mem after v)) (Placement.to_list before))
+  in
+  t.moves <- t.moves + added + removed;
+  t.placed <- placed
+
+let best_marginal inst placed =
+  let n = Instance.vertex_count inst in
+  let p = Placement.of_list placed in
+  let best = ref (-1) and best_gain = ref 1e-9 in
+  for v = 0 to n - 1 do
+    if not (Placement.mem p v) then begin
+      let g = Bandwidth.marginal inst p v in
+      if g > !best_gain then begin
+        best := v;
+        best_gain := g
+      end
+    end
+  done;
+  if !best < 0 then None else Some !best
+
+let arrive t f =
+  if List.exists (fun g -> g.Flow.id = f.Flow.id) t.current then
+    invalid_arg "Incremental.arrive: duplicate flow id";
+  (match Flow.validate t.graph f with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Incremental.arrive: " ^ msg));
+  t.current <- t.current @ [ f ];
+  let inst = instance t in
+  if not (Allocation.is_feasible inst (placement t)) then begin
+    (* Prefer serving the new flow at its highest-marginal on-path
+       vertex while budget remains, then let the shared fix-up restore
+       feasibility for anything else (including flows stranded by an
+       earlier budget-exhausted event). *)
+    let chosen =
+      if List.length t.placed < t.k then begin
+        let candidates = Array.to_list f.Flow.path in
+        let p = placement t in
+        let best =
+          Tdmd_prelude.Listx.max_by
+            (fun v -> Bandwidth.marginal inst p v)
+            candidates
+        in
+        t.placed @ [ best ]
+      end
+      else t.placed
+    in
+    set_placed t (Cover_fixup.within inst ~chosen ~budget:t.k)
+  end
+
+let depart t id =
+  t.current <- List.filter (fun f -> f.Flow.id <> id) t.current;
+  let inst = instance t in
+  (* Boxes that serve nobody are pure waste now. *)
+  let p = placement t in
+  let servers =
+    Array.to_list (Allocation.all inst p)
+    |> List.filter_map (function
+         | Allocation.Served_at { vertex; _ } -> Some vertex
+         | Allocation.Unserved -> None)
+  in
+  let useful = List.filter (fun v -> List.mem v servers) t.placed in
+  if List.length useful < List.length t.placed then set_placed t useful;
+  (* Spend freed budget where it helps. *)
+  (if List.length t.placed < t.k then begin
+     match best_marginal inst t.placed with
+     | Some v -> set_placed t (t.placed @ [ v ])
+     | None -> ()
+   end);
+  (* A departure can also unlock feasibility denied at a previous
+     budget-exhausted event. *)
+  if not (Allocation.is_feasible inst (placement t)) then
+    set_placed t (Cover_fixup.within inst ~chosen:t.placed ~budget:t.k)

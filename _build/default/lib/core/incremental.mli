@@ -1,0 +1,39 @@
+(** Dynamic deployment maintenance under flow churn.
+
+    The paper solves a static snapshot; operational networks see flows
+    arrive and depart (its own Sec. 6.1 cites demand changes as why
+    links are over-provisioned).  This extension maintains a deployment
+    of at most [k] boxes across {!Tdmd_traffic.Temporal}-style events
+    with bounded churn:
+
+    - arrival: if the new flow is unserved, add the best covering /
+      highest-marginal vertex when budget remains, otherwise replace
+      the deployed box whose removal costs least;
+    - departure: drop boxes that no longer serve any flow, then spend
+      freed budget on the current best-marginal vertex when it still
+      helps.
+
+    Every deployed/removed box counts as one *move* — the
+    quality-vs-churn trade against from-scratch GTP is an ablation
+    bench. *)
+
+type t
+
+val create :
+  graph:Tdmd_graph.Digraph.t -> lambda:float -> k:int -> t
+
+val arrive : t -> Tdmd_flow.Flow.t -> unit
+(** @raise Invalid_argument on duplicate flow ids or invalid paths. *)
+
+val depart : t -> int -> unit
+(** Remove the flow with the given id; unknown ids are ignored. *)
+
+val flows : t -> Tdmd_flow.Flow.t list
+val placement : t -> Placement.t
+val bandwidth : t -> float
+val feasible : t -> bool
+val moves : t -> int
+(** Total placement changes so far (adds + removals). *)
+
+val instance : t -> Instance.t
+(** Current snapshot as a static instance. *)

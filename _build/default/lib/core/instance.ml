@@ -1,0 +1,73 @@
+module G = Tdmd_graph.Digraph
+module Rt = Tdmd_tree.Rooted_tree
+module Flow = Tdmd_flow.Flow
+
+type t = {
+  graph : G.t;
+  flows : Flow.t array;
+  lambda : float;
+}
+
+let make ~graph ~flows ~lambda =
+  if lambda < 0.0 || lambda > 1.0 then
+    invalid_arg "Instance.make: lambda must lie in [0, 1]";
+  List.iter
+    (fun f ->
+      match Flow.validate graph f with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Instance.make: " ^ msg))
+    flows;
+  { graph; flows = Array.of_list flows; lambda }
+
+let vertex_count t = G.vertex_count t.graph
+let flow_count t = Array.length t.flows
+let flows t = Array.to_list t.flows
+let total_rate t = Flow.total_rate (flows t)
+let total_path_volume t = Flow.total_path_volume (flows t)
+
+module Tree = struct
+  type general = t
+
+  type t = {
+    tree : Rt.t;
+    flows : Flow.t array;
+    lambda : float;
+  }
+
+  let make ~tree ~flows ~lambda =
+    if lambda < 0.0 || lambda > 1.0 then
+      invalid_arg "Instance.Tree.make: lambda must lie in [0, 1]";
+    List.iter
+      (fun f ->
+        let src = Flow.src f in
+        if not (Rt.is_leaf tree src) then
+          invalid_arg "Instance.Tree.make: flow source is not a leaf";
+        let expected = Rt.path_to_root tree src in
+        let actual = Array.to_list f.Flow.path in
+        if expected <> actual then
+          invalid_arg "Instance.Tree.make: flow path is not the leaf-to-root path")
+      flows;
+    let merged = Flow.merge_same_source flows in
+    { tree; flows = Array.of_list merged; lambda }
+
+  let to_general t =
+    let graph = Rt.to_digraph t.tree in
+    { graph; flows = t.flows; lambda = t.lambda }
+
+  let subtree_rate t =
+    let n = Rt.size t.tree in
+    let r = Array.make n 0 in
+    Array.iter (fun f -> r.(Flow.src f) <- r.(Flow.src f) + f.Flow.rate) t.flows;
+    List.iter
+      (fun v ->
+        let p = Rt.parent t.tree v in
+        if p >= 0 then r.(p) <- r.(p) + r.(v))
+      (Rt.postorder t.tree);
+    r
+
+  let source_rate t =
+    let n = Rt.size t.tree in
+    let r = Array.make n 0 in
+    Array.iter (fun f -> r.(Flow.src f) <- r.(Flow.src f) + f.Flow.rate) t.flows;
+    r
+end

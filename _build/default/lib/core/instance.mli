@@ -1,0 +1,61 @@
+(** TDMD problem instances (paper Sec. 3).
+
+    An instance bundles the network, the flow set and the middlebox's
+    traffic-changing ratio λ.  The middlebox budget [k] is a solver
+    parameter, not part of the instance, because the experiments sweep
+    it.  [Tree] instances additionally carry the rooted view required by
+    the Sec. 5 solvers and enforce the Sec. 5 preconditions (sources are
+    leaves, destination is the root). *)
+
+type t = private {
+  graph : Tdmd_graph.Digraph.t;
+  flows : Tdmd_flow.Flow.t array;
+  lambda : float;  (** traffic-changing ratio, 0 ≤ λ ≤ 1 *)
+}
+
+val make :
+  graph:Tdmd_graph.Digraph.t ->
+  flows:Tdmd_flow.Flow.t list ->
+  lambda:float ->
+  t
+(** Validates λ ∈ [0, 1] and every flow path against the graph.
+    @raise Invalid_argument on violations. *)
+
+val vertex_count : t -> int
+val flow_count : t -> int
+val flows : t -> Tdmd_flow.Flow.t list
+val total_rate : t -> int
+val total_path_volume : t -> int
+(** Σ_f r_f·|p_f|: the bandwidth with no middlebox deployed (Lemma 1's
+    max b(P)). *)
+
+module Tree : sig
+  type general = t
+
+  type t = private {
+    tree : Tdmd_tree.Rooted_tree.t;
+    flows : Tdmd_flow.Flow.t array;  (** merged per source, see [make] *)
+    lambda : float;
+  }
+
+  val make :
+    tree:Tdmd_tree.Rooted_tree.t ->
+    flows:Tdmd_flow.Flow.t list ->
+    lambda:float ->
+    t
+  (** Checks that each flow runs from a leaf up to the root along tree
+      edges, and merges flows sharing a source (paper Sec. 5: same-leaf
+      flows are one flow for the solvers).
+      @raise Invalid_argument on violations. *)
+
+  val to_general : t -> general
+  (** The same instance viewed as a general one (used to cross-check
+      tree solvers against general ones in tests). *)
+
+  val subtree_rate : t -> int array
+  (** Per-vertex total rate of flows sourced inside the vertex's
+      subtree (the DP's R_v). *)
+
+  val source_rate : t -> int array
+  (** Per-vertex total rate of flows sourced exactly there. *)
+end

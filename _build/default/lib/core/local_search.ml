@@ -1,0 +1,50 @@
+type report = {
+  placement : Placement.t;
+  bandwidth : float;
+  swaps : int;
+  evaluations : int;
+}
+
+let refine ?(max_rounds = 1000) ~k instance placement =
+  if not (Allocation.is_feasible instance placement) then
+    invalid_arg "Local_search.refine: infeasible starting deployment";
+  let n = Instance.vertex_count instance in
+  let evaluations = ref 0 in
+  let score p =
+    incr evaluations;
+    Bandwidth.total instance p
+  in
+  let rec round placement current swaps rounds_left =
+    if rounds_left = 0 then (placement, current, swaps)
+    else begin
+      let best = ref None in
+      let consider candidate =
+        if Allocation.is_feasible instance candidate then begin
+          let bw = score candidate in
+          match !best with
+          | Some (_, b) when b <= bw -> ()
+          | _ -> if bw < current -. 1e-9 then best := Some (candidate, bw)
+        end
+      in
+      (* Pure additions while under budget. *)
+      if Placement.size placement < k then
+        for v = 0 to n - 1 do
+          if not (Placement.mem placement v) then consider (Placement.add placement v)
+        done;
+      (* One-for-one swaps. *)
+      List.iter
+        (fun out ->
+          let without = Placement.remove placement out in
+          for v = 0 to n - 1 do
+            if (not (Placement.mem placement v)) && v <> out then
+              consider (Placement.add without v)
+          done)
+        (Placement.to_list placement);
+      match !best with
+      | None -> (placement, current, swaps)
+      | Some (next, bw) -> round next bw (swaps + 1) (rounds_left - 1)
+    end
+  in
+  let start_bw = Bandwidth.total instance placement in
+  let placement, bandwidth, swaps = round placement start_bw 0 max_rounds in
+  { placement; bandwidth; swaps; evaluations = !evaluations }

@@ -1,0 +1,20 @@
+(** Swap-based local search refinement.
+
+    A standard post-pass the paper leaves on the table: starting from
+    any feasible deployment, repeatedly apply the best
+    remove-one/add-one swap (or a pure addition while under budget)
+    that strictly lowers the bandwidth while keeping every flow served.
+    Terminates at a 1-swap local optimum; never returns a worse
+    deployment than its input.  The ablation bench quantifies how much
+    it closes the GTP/HAT-to-DP gap. *)
+
+type report = {
+  placement : Placement.t;
+  bandwidth : float;
+  swaps : int;        (** improving moves applied *)
+  evaluations : int;  (** candidate deployments scored *)
+}
+
+val refine : ?max_rounds:int -> k:int -> Instance.t -> Placement.t -> report
+(** [refine ~k inst p] requires [p] feasible (raises [Invalid_argument]
+    otherwise).  Default [max_rounds] = 1000. *)

@@ -1,0 +1,18 @@
+(** Deployment plans P (paper Eq. 2): the set of vertices carrying a
+    middlebox.  Stored sorted and duplicate-free. *)
+
+type t = private int list
+
+val of_list : int list -> t
+(** Sorts and deduplicates. *)
+
+val empty : t
+val size : t -> int
+(** |P| — counts against the budget k (Eq. 3). *)
+
+val mem : t -> int -> bool
+val add : t -> int -> t
+val remove : t -> int -> t
+val union : t -> t -> t
+val to_list : t -> int list
+val pp : Format.formatter -> t -> unit

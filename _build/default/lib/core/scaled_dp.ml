@@ -1,0 +1,29 @@
+module Flow = Tdmd_flow.Flow
+
+type report = {
+  placement : Placement.t;
+  bandwidth : float;
+  scaled_states : int;
+  feasible : bool;
+}
+
+let solve ~k ~theta inst =
+  if theta < 1 then invalid_arg "Scaled_dp.solve: theta must be >= 1";
+  let scaled_flows =
+    Array.to_list inst.Instance.Tree.flows
+    |> List.map (fun f ->
+           let rate = (f.Flow.rate + theta - 1) / theta in
+           Flow.make ~id:f.Flow.id ~rate ~path:(Array.to_list f.Flow.path))
+  in
+  let scaled =
+    Instance.Tree.make ~tree:inst.Instance.Tree.tree ~flows:scaled_flows
+      ~lambda:inst.Instance.Tree.lambda
+  in
+  let r = Dp.solve ~k scaled in
+  let general = Instance.Tree.to_general inst in
+  {
+    placement = r.Dp.placement;
+    bandwidth = Bandwidth.total general r.Dp.placement;
+    scaled_states = r.Dp.states;
+    feasible = r.Dp.feasible;
+  }

@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Array Format Hashtbl List Printf Tdmd_graph

@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Format Tdmd_graph

@@ -1,0 +1,68 @@
+type t = {
+  id : int;
+  rate : int;
+  path : int array;
+}
+
+let make ~id ~rate ~path =
+  if rate <= 0 then invalid_arg "Flow.make: rate must be positive";
+  if path = [] then invalid_arg "Flow.make: empty path";
+  let arr = Array.of_list path in
+  let seen = Hashtbl.create (Array.length arr) in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then invalid_arg "Flow.make: repeated vertex in path";
+      Hashtbl.add seen v ())
+    arr;
+  { id; rate; path = arr }
+
+let src f = f.path.(0)
+let dst f = f.path.(Array.length f.path - 1)
+let hop_count f = Array.length f.path - 1
+
+let mem_vertex f v = Array.exists (fun u -> u = v) f.path
+
+let l_v f v =
+  let rec go i =
+    if i = Array.length f.path then raise Not_found
+    else if f.path.(i) = v then i
+    else go (i + 1)
+  in
+  go 0
+
+let validate g f =
+  let rec check i =
+    if i + 1 >= Array.length f.path then Ok ()
+    else if Tdmd_graph.Digraph.mem_edge g f.path.(i) f.path.(i + 1) then check (i + 1)
+    else
+      Error
+        (Printf.sprintf "flow %d: missing arc %d -> %d" f.id f.path.(i) f.path.(i + 1))
+  in
+  check 0
+
+let merge_same_source flows =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun f ->
+      let key = Array.to_list f.path in
+      match Hashtbl.find_opt tbl key with
+      | Some merged -> Hashtbl.replace tbl key { merged with rate = merged.rate + f.rate }
+      | None ->
+        Hashtbl.add tbl key f;
+        order := key :: !order)
+    flows;
+  List.rev !order
+  |> List.mapi (fun i key -> { (Hashtbl.find tbl key) with id = i })
+
+let total_rate flows = List.fold_left (fun acc f -> acc + f.rate) 0 flows
+
+let total_path_volume flows =
+  List.fold_left (fun acc f -> acc + (f.rate * hop_count f)) 0 flows
+
+let pp ppf f =
+  Format.fprintf ppf "f%d[r=%d; %a]" f.id f.rate
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "->")
+       Format.pp_print_int)
+    (Array.to_list f.path)

@@ -1,0 +1,1 @@
+lib/graph/bellman_ford.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/bfs.ml: Array Digraph Queue

@@ -1,0 +1,1 @@
+lib/graph/dsu.ml: Array

@@ -1,0 +1,1 @@
+lib/graph/floyd_warshall.mli: Digraph

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Digraph Dsu Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/yen.ml: Array Digraph List Tdmd_heap

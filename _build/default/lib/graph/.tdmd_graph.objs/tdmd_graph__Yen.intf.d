@@ -1,0 +1,1 @@
+lib/graph/yen.mli: Digraph

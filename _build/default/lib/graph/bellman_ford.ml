@@ -1,0 +1,29 @@
+type result =
+  | Distances of float array
+  | Negative_cycle
+
+let distances g s =
+  let n = Digraph.vertex_count g in
+  let dist = Array.make n infinity in
+  dist.(s) <- 0.0;
+  let edges = Digraph.edges g in
+  let relax () =
+    List.fold_left
+      (fun changed e ->
+        let { Digraph.src; dst; weight } = e in
+        if dist.(src) < infinity && dist.(src) +. weight < dist.(dst) then begin
+          dist.(dst) <- dist.(src) +. weight;
+          true
+        end
+        else changed)
+      false edges
+  in
+  (* Up to n-1 relaxation rounds with early exit; if the n-th round
+     still improves something, a negative cycle is reachable. *)
+  let changed = ref true in
+  let round = ref 0 in
+  while !changed && !round < n - 1 do
+    changed := relax ();
+    incr round
+  done;
+  if !changed && relax () then Negative_cycle else Distances dist

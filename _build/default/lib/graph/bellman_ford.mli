@@ -1,0 +1,12 @@
+(** Bellman–Ford single-source shortest paths.
+
+    Tolerates negative arc weights (used by cost models where a
+    middlebox subsidises a link) and detects negative cycles; also the
+    property-test cross-check for {!Dijkstra} on non-negative
+    weights. *)
+
+type result =
+  | Distances of float array
+  | Negative_cycle
+
+val distances : Digraph.t -> int -> result

@@ -1,0 +1,34 @@
+let search g s =
+  let n = Digraph.vertex_count g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let heap = Tdmd_heap.Indexed_heap.create n in
+  dist.(s) <- 0.0;
+  Tdmd_heap.Indexed_heap.push heap s 0.0;
+  let rec loop () =
+    match Tdmd_heap.Indexed_heap.pop heap with
+    | None -> ()
+    | Some (v, d) ->
+      Digraph.iter_succ g v (fun u w ->
+          if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+          let nd = d +. w in
+          if nd < dist.(u) then begin
+            if dist.(u) = infinity then Tdmd_heap.Indexed_heap.push heap u nd
+            else Tdmd_heap.Indexed_heap.decrease heap u nd;
+            dist.(u) <- nd;
+            parent.(u) <- v
+          end);
+      loop ()
+  in
+  loop ();
+  (dist, parent)
+
+let distances g s = fst (search g s)
+
+let shortest_path g ~src ~dst =
+  let dist, parent = search g src in
+  if dist.(dst) = infinity then None
+  else begin
+    let rec walk v acc = if v = src then src :: acc else walk parent.(v) (v :: acc) in
+    Some (walk dst [], dist.(dst))
+  end

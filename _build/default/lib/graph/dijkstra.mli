@@ -1,0 +1,9 @@
+(** Weighted single-source shortest paths (non-negative weights),
+    implemented over {!Tdmd_heap.Indexed_heap}. *)
+
+val distances : Digraph.t -> int -> float array
+(** [infinity] for unreachable vertices.
+    @raise Invalid_argument on a negative edge weight. *)
+
+val shortest_path : Digraph.t -> src:int -> dst:int -> (int list * float) option
+(** Vertex path and its total weight. *)

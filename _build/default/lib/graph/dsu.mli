@@ -1,0 +1,14 @@
+(** Union–find with path compression and union by rank.  Used by the
+    topology generators to keep random graphs connected. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two classes; returns [false] when they were
+    already one class. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint classes. *)

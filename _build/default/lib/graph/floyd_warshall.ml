@@ -1,0 +1,47 @@
+let distances g =
+  let n = Digraph.vertex_count g in
+  let d = Array.make_matrix n n infinity in
+  for v = 0 to n - 1 do
+    d.(v).(v) <- 0.0
+  done;
+  List.iter
+    (fun e ->
+      if e.Digraph.weight < 0.0 then
+        invalid_arg "Floyd_warshall: negative edge weight";
+      if e.Digraph.weight < d.(e.Digraph.src).(e.Digraph.dst) then
+        d.(e.Digraph.src).(e.Digraph.dst) <- e.Digraph.weight)
+    (Digraph.edges g);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let dik = d.(i).(k) in
+      if dik < infinity then
+        for j = 0 to n - 1 do
+          let via = dik +. d.(k).(j) in
+          if via < d.(i).(j) then d.(i).(j) <- via
+        done
+    done
+  done;
+  d
+
+let diameter g =
+  let d = distances g in
+  let best = ref 0.0 in
+  Array.iter
+    (Array.iter (fun x -> if x < infinity && x > !best then best := x))
+    d;
+  !best
+
+let mean_finite_distance g =
+  let d = distances g in
+  let sum = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j x ->
+          if i <> j && x < infinity then begin
+            sum := !sum +. x;
+            incr count
+          end)
+        row)
+    d;
+  if !count = 0 then nan else !sum /. float_of_int !count

@@ -1,0 +1,27 @@
+let undirected_edges g =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let u, v = (min e.Digraph.src e.Digraph.dst, max e.Digraph.src e.Digraph.dst) in
+      match Hashtbl.find_opt tbl (u, v) with
+      | Some w when w <= e.Digraph.weight -> ()
+      | _ -> Hashtbl.replace tbl (u, v) e.Digraph.weight)
+    (Digraph.edges g);
+  Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) tbl []
+
+let kruskal g =
+  let edges =
+    List.sort
+      (fun (_, _, w1) (_, _, w2) -> compare w1 w2)
+      (undirected_edges g)
+  in
+  let dsu = Dsu.create (Digraph.vertex_count g) in
+  List.filter (fun (u, v, _) -> Dsu.union dsu u v) edges
+  |> List.sort compare
+
+let total_weight edges = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 edges
+
+let spanning_tree_digraph g =
+  let t = Digraph.create (Digraph.vertex_count g) in
+  List.iter (fun (u, v, w) -> Digraph.add_undirected ~weight:w t u v) (kruskal g);
+  t

@@ -1,0 +1,15 @@
+(** Minimum spanning tree (Kruskal over the union–find).
+
+    Used by the topology pipeline to extract low-weight tree backbones
+    from weighted general topologies (an alternative to the BFS
+    spanning tree when link weights model latency). *)
+
+val kruskal : Digraph.t -> (int * int * float) list
+(** Undirected MST edges [(u, v, w)] with [u < v].  Arc pairs are
+    treated as one undirected edge of their minimum weight; for a
+    disconnected graph this is the spanning forest. *)
+
+val total_weight : (int * int * float) list -> float
+
+val spanning_tree_digraph : Digraph.t -> Digraph.t
+(** The MST as a bidirectional-link digraph on the same vertex set. *)

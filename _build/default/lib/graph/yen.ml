@@ -1,0 +1,109 @@
+(* Dijkstra on a filtered view of the graph: [blocked_edge u v] and
+   [blocked_vertex v] hide parts of the graph without copying it. *)
+let filtered_shortest g ~src ~dst ~blocked_edge ~blocked_vertex =
+  let n = Digraph.vertex_count g in
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let heap = Tdmd_heap.Indexed_heap.create n in
+  if blocked_vertex src then None
+  else begin
+    dist.(src) <- 0.0;
+    Tdmd_heap.Indexed_heap.push heap src 0.0;
+    let rec loop () =
+      match Tdmd_heap.Indexed_heap.pop heap with
+      | None -> ()
+      | Some (v, d) ->
+        Digraph.iter_succ g v (fun u w ->
+            if (not (blocked_vertex u)) && not (blocked_edge v u) then begin
+              let nd = d +. w in
+              if nd < dist.(u) then begin
+                if dist.(u) = infinity then Tdmd_heap.Indexed_heap.push heap u nd
+                else Tdmd_heap.Indexed_heap.decrease heap u nd;
+                dist.(u) <- nd;
+                parent.(u) <- v
+              end
+            end);
+        loop ()
+    in
+    loop ();
+    if dist.(dst) = infinity then None
+    else begin
+      let rec walk v acc = if v = src then src :: acc else walk parent.(v) (v :: acc) in
+      Some (walk dst [], dist.(dst))
+    end
+  end
+
+let k_shortest g ~src ~dst ~k =
+  assert (k >= 0);
+  match filtered_shortest g ~src ~dst ~blocked_edge:(fun _ _ -> false)
+          ~blocked_vertex:(fun _ -> false)
+  with
+  | None -> []
+  | Some first ->
+    let accepted = ref [ first ] in
+    let candidates = ref [] in
+    let prefix_weight g path =
+      let rec go acc = function
+        | u :: (v :: _ as rest) -> go (acc +. Digraph.weight g u v) rest
+        | _ -> acc
+      in
+      go 0.0 path
+    in
+    let rec take_prefix path i =
+      match (path, i) with
+      | _, 0 -> []
+      | x :: _, 1 -> [ x ]
+      | x :: rest, i -> x :: take_prefix rest (i - 1)
+      | [], _ -> []
+    in
+    (try
+       for _ = 2 to k do
+         let prev_path, _ = List.hd !accepted in
+         (* Branch at every spur vertex of the previously accepted path. *)
+         List.iteri
+           (fun i spur ->
+             if i < List.length prev_path - 1 then begin
+               let root = take_prefix prev_path (i + 1) in
+               (* Edges leaving the spur along any accepted/candidate
+                  path sharing this root are blocked. *)
+               let blocked_pairs =
+                 List.filter_map
+                   (fun (p, _) ->
+                     if take_prefix p (i + 1) = root then begin
+                       match List.nth_opt p (i + 1) with
+                       | Some next -> Some (spur, next)
+                       | None -> None
+                     end
+                     else None)
+                   !accepted
+               in
+               let root_vertices = take_prefix prev_path i in
+               let blocked_vertex v = List.mem v root_vertices in
+               let blocked_edge u v = List.mem (u, v) blocked_pairs in
+               match
+                 filtered_shortest g ~src:spur ~dst ~blocked_edge ~blocked_vertex
+               with
+               | None -> ()
+               | Some (spur_path, spur_w) ->
+                 let total_path = root @ List.tl spur_path in
+                 let total_w = prefix_weight g root +. spur_w in
+                 let cand = (total_path, total_w) in
+                 let known =
+                   List.exists (fun (p, _) -> p = total_path) !accepted
+                   || List.exists (fun (p, _) -> p = total_path) !candidates
+                 in
+                 if not known then candidates := cand :: !candidates
+             end)
+           prev_path;
+         match
+           List.sort
+             (fun (p1, w1) (p2, w2) -> compare (w1, p1) (w2, p2))
+             !candidates
+         with
+         | [] -> raise Exit
+         | best :: rest ->
+           accepted := best :: !accepted;
+           candidates := rest
+       done
+     with Exit -> ());
+    List.rev !accepted

@@ -1,0 +1,12 @@
+(** Yen's algorithm for k loopless shortest paths.
+
+    The paper fixes one pre-determined path per flow; the workload
+    generators optionally spread flows over the K best routes instead of
+    always the single shortest one, which diversifies paths the way
+    measured traffic does.  Classic Yen (1971) built on {!Dijkstra}. *)
+
+val k_shortest :
+  Digraph.t -> src:int -> dst:int -> k:int -> (int list * float) list
+(** Up to [k] loopless paths in non-decreasing weight order (fewer if
+    the graph has fewer).  Deterministic: candidate ties break on the
+    path's vertex sequence. *)

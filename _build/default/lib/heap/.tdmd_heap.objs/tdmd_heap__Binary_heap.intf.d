@@ -1,0 +1,1 @@
+lib/heap/binary_heap.mli:

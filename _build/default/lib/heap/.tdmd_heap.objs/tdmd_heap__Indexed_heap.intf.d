@@ -1,0 +1,1 @@
+lib/heap/indexed_heap.mli:

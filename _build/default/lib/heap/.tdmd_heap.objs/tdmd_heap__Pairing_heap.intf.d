@@ -1,0 +1,1 @@
+lib/heap/pairing_heap.mli:

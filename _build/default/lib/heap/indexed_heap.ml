@@ -1,0 +1,101 @@
+type t = {
+  keys : int array;          (* heap slot -> key *)
+  prio : float array;        (* heap slot -> priority *)
+  pos : int array;           (* key -> heap slot, or -1 *)
+  mutable size : int;
+}
+
+let create n =
+  {
+    keys = Array.make (max n 1) (-1);
+    prio = Array.make (max n 1) 0.0;
+    pos = Array.make (max n 1) (-1);
+    size = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let mem t key = key >= 0 && key < Array.length t.pos && t.pos.(key) >= 0
+
+let swap t i j =
+  let ki = t.keys.(i) and kj = t.keys.(j) in
+  t.keys.(i) <- kj;
+  t.keys.(j) <- ki;
+  let pi = t.prio.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.prio.(j) <- pi;
+  t.pos.(kj) <- i;
+  t.pos.(ki) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prio.(i) < t.prio.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.prio.(l) < t.prio.(!smallest) then smallest := l;
+  if r < t.size && t.prio.(r) < t.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key p =
+  if key < 0 || key >= Array.length t.pos then
+    invalid_arg "Indexed_heap.push: key out of range";
+  if t.pos.(key) >= 0 then invalid_arg "Indexed_heap.push: duplicate key";
+  let i = t.size in
+  t.size <- t.size + 1;
+  t.keys.(i) <- key;
+  t.prio.(i) <- p;
+  t.pos.(key) <- i;
+  sift_up t i
+
+let decrease t key p =
+  if not (mem t key) then invalid_arg "Indexed_heap.decrease: absent key";
+  let i = t.pos.(key) in
+  if p > t.prio.(i) then invalid_arg "Indexed_heap.decrease: larger priority";
+  t.prio.(i) <- p;
+  sift_up t i
+
+let remove t key =
+  if mem t key then begin
+    let i = t.pos.(key) in
+    let last = t.size - 1 in
+    swap t i last;
+    t.size <- last;
+    t.pos.(key) <- -1;
+    if i < t.size then begin
+      sift_down t i;
+      sift_up t i
+    end
+  end
+
+let update t key p =
+  if mem t key then begin
+    let i = t.pos.(key) in
+    t.prio.(i) <- p;
+    sift_down t i;
+    sift_up t t.pos.(key)
+  end
+  else push t key p
+
+let peek t = if t.size = 0 then None else Some (t.keys.(0), t.prio.(0))
+
+let pop t =
+  match peek t with
+  | None -> None
+  | Some (k, p) ->
+    remove t k;
+    Some (k, p)
+
+let priority t key =
+  if not (mem t key) then raise Not_found;
+  t.prio.(t.pos.(key))

@@ -1,0 +1,35 @@
+(** Min-heap over the integer keys [0 .. n-1] with float priorities and
+    O(log n) [decrease]/[remove].
+
+    Dijkstra uses [decrease]; HAT uses [remove] when a merge invalidates
+    every pair involving a vertex.  Each key may be present at most once. *)
+
+type t
+
+val create : int -> t
+(** [create n] supports keys [0 .. n-1], initially empty. *)
+
+val length : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+val push : t -> int -> float -> unit
+(** @raise Invalid_argument if the key is already present or out of
+    range. *)
+
+val decrease : t -> int -> float -> unit
+(** [decrease t key prio] lowers [key]'s priority.
+    @raise Invalid_argument if absent or if [prio] is larger than the
+    current priority. *)
+
+val update : t -> int -> float -> unit
+(** Set a present key's priority to an arbitrary new value (restoring the
+    heap either way), or insert it if absent. *)
+
+val remove : t -> int -> unit
+(** Remove a key if present; no-op otherwise. *)
+
+val peek : t -> (int * float) option
+val pop : t -> (int * float) option
+val priority : t -> int -> float
+(** @raise Not_found if the key is absent. *)

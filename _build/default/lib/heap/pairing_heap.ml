@@ -1,0 +1,42 @@
+type 'a node = Leaf | Node of 'a * 'a node list
+
+type 'a t = { cmp : 'a -> 'a -> int; root : 'a node; size : int }
+
+let empty ~cmp = { cmp; root = Leaf; size = 0 }
+
+let is_empty t = t.root = Leaf
+let length t = t.size
+
+let meld cmp a b =
+  match (a, b) with
+  | Leaf, h | h, Leaf -> h
+  | Node (x, xs), Node (y, ys) ->
+    if cmp x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+let push t x =
+  { t with root = meld t.cmp (Node (x, [])) t.root; size = t.size + 1 }
+
+let merge a b =
+  { cmp = a.cmp; root = meld a.cmp a.root b.root; size = a.size + b.size }
+
+let peek t = match t.root with Leaf -> None | Node (x, _) -> Some x
+
+(* Two-pass pairing of the root's children. *)
+let rec merge_pairs cmp = function
+  | [] -> Leaf
+  | [ h ] -> h
+  | h1 :: h2 :: rest -> meld cmp (meld cmp h1 h2) (merge_pairs cmp rest)
+
+let pop t =
+  match t.root with
+  | Leaf -> None
+  | Node (x, children) ->
+    Some (x, { t with root = merge_pairs t.cmp children; size = t.size - 1 })
+
+let of_list ~cmp xs = List.fold_left push (empty ~cmp) xs
+
+let to_sorted_list t =
+  let rec drain t acc =
+    match pop t with None -> List.rev acc | Some (x, t') -> drain t' (x :: acc)
+  in
+  drain t []

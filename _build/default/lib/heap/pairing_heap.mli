@@ -1,0 +1,19 @@
+(** Persistent pairing heap (min-heap).
+
+    A simple persistent alternative to {!Binary_heap}; the property tests
+    drain both against a sorted list to cross-check each other.  [merge]
+    is O(1); [pop] is amortised O(log n). *)
+
+type 'a t
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> 'a -> 'a t
+val merge : 'a t -> 'a t -> 'a t
+(** Both heaps must have been created with the same comparison. *)
+
+val peek : 'a t -> 'a option
+val pop : 'a t -> ('a * 'a t) option
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,1 @@
+lib/netsim/netsim.ml: Array Buffer Float Hashtbl List Printf Tdmd Tdmd_flow Tdmd_prelude

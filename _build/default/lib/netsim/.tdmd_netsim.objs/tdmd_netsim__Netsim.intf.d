@@ -1,0 +1,1 @@
+lib/netsim/netsim.mli: Tdmd

@@ -1,0 +1,39 @@
+(** Fluid link-level network simulator.
+
+    The paper computes bandwidth analytically (Eq. 1).  This substrate
+    *routes* the flows instead: every flow pushes its rate onto each
+    directed link of its path, middleboxes transform the rate in-place
+    at their vertex, and per-link occupancy is accumulated.  Summing
+    link loads must reproduce Eq. 1 exactly — the end-to-end validation
+    the test suite performs on random instances — and the per-link view
+    additionally checks the paper's over-provisioning assumption
+    ("each link has enough bandwidth to hold all bypass flows") and
+    yields utilisation statistics no closed form exposes. *)
+
+type link_load = {
+  src : int;
+  dst : int;
+  load : float;      (** total fluid rate crossing the link *)
+  flows : int list;  (** ids of flows using the link *)
+}
+
+type result = {
+  links : link_load list;       (** only links carrying traffic *)
+  total_bandwidth : float;      (** Σ link loads = Eq. 1's b(P, F) *)
+  max_link_load : float;
+  served : (int * int) list;    (** (flow id, serving vertex) *)
+  unserved : int list;
+}
+
+val route : Tdmd.Instance.t -> Tdmd.Placement.t -> result
+(** Simulate all flows under the forced earliest-middlebox allocation. *)
+
+val link_utilisations : result -> capacity:float -> (int * int * float) list
+(** Per loaded link (src, dst, load/capacity), descending. *)
+
+val congested : result -> capacity:float -> (int * int) list
+(** Links whose load exceeds the capacity — empty under the paper's
+    over-provisioning assumption. *)
+
+val render : result -> string
+(** Text summary: totals plus the five hottest links. *)

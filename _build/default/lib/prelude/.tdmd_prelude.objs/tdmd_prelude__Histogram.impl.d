@@ -1,0 +1,1 @@
+lib/prelude/histogram.ml: Array Buffer Float Printf String

@@ -1,0 +1,1 @@
+lib/prelude/parallel.ml: Array Atomic Domain List Option

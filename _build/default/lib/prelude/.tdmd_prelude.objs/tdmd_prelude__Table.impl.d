@@ -1,0 +1,1 @@
+lib/prelude/table.ml: Array Buffer List Printf String

@@ -1,0 +1,43 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: empty range";
+  { lo; hi; bins = Array.make bins 0; total = 0 }
+
+let bin_index t x =
+  let n = Array.length t.bins in
+  let raw =
+    int_of_float (Float.of_int n *. ((x -. t.lo) /. (t.hi -. t.lo)))
+  in
+  max 0 (min (n - 1) raw)
+
+let add t x =
+  t.bins.(bin_index t x) <- t.bins.(bin_index t x) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+let bin_counts t = Array.copy t.bins
+
+let bin_edges t =
+  let n = Array.length t.bins in
+  let step = (t.hi -. t.lo) /. float_of_int n in
+  Array.init n (fun i ->
+      (t.lo +. (float_of_int i *. step), t.lo +. (float_of_int (i + 1) *. step)))
+
+let render ?(width = 40) t =
+  let buf = Buffer.create 256 in
+  let peak = Array.fold_left max 1 t.bins in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = (bin_edges t).(i) in
+      let bar = c * width / peak in
+      Buffer.add_string buf
+        (Printf.sprintf "[%8.3g, %8.3g) %6d %s\n" lo hi c (String.make bar '#')))
+    t.bins;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Fixed-bin histograms for workload and topology statistics. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Uniform bins over [\[lo, hi)]; out-of-range samples clamp to the
+    first/last bin.  @raise Invalid_argument if [bins <= 0] or
+    [hi <= lo]. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val bin_counts : t -> int array
+val bin_edges : t -> (float * float) array
+(** Per-bin [(lower, upper)] bounds, same order as {!bin_counts}. *)
+
+val render : ?width:int -> t -> string
+(** ASCII bar chart, one bin per line (bars scaled to [width], default
+    40 columns). *)

@@ -1,0 +1,38 @@
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+exception Worker_failure of exn
+
+let map ?(domains = 1) f xs =
+  match xs with
+  | [] -> []
+  | _ when domains <= 1 -> List.map f xs
+  | _ ->
+    let tasks = Array.of_list xs in
+    let n = Array.length tasks in
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match f tasks.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> Atomic.set failure (Some (Worker_failure e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with
+    | Some (Worker_failure e) -> raise e
+    | Some e -> raise e
+    | None -> ());
+    Array.to_list (Array.map Option.get results)
+
+let iter ?domains f xs = ignore (map ?domains (fun x -> f x) xs)

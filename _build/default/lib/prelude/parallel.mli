@@ -1,0 +1,21 @@
+(** Multicore work distribution over OCaml 5 domains.
+
+    A minimal deterministic parallel map: tasks are indexed, a shared
+    atomic counter hands indices to worker domains, and each result is
+    written to its own slot — so the output order is always the input
+    order regardless of scheduling.  Used by the experiment harness to
+    spread independent seeded repetitions across cores (bandwidth
+    results are bit-identical to the sequential run because every
+    repetition's RNG is pre-split before spawning; only wall-clock
+    *timing* measurements become noisier under contention). *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], capped at 8. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] evaluates [f] over [xs] on up to [domains]
+    domains (default: sequential when [domains <= 1]).  [f] must not
+    rely on shared mutable state.  Exceptions from [f] are re-raised in
+    the caller after all domains join. *)
+
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

@@ -1,0 +1,83 @@
+type t = { header : string array; mutable rows : string array list }
+
+let create header = { header = Array.of_list header; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.header in
+  let row = Array.make n "" in
+  List.iteri
+    (fun i c ->
+      if i >= n then invalid_arg "Table.add_row: too many cells";
+      row.(i) <- c)
+    cells;
+  t.rows <- row :: t.rows
+
+let widths t =
+  let n = Array.length t.header in
+  let w = Array.map String.length t.header in
+  List.iter
+    (fun row ->
+      for i = 0 to n - 1 do
+        if String.length row.(i) > w.(i) then w.(i) <- String.length row.(i)
+      done)
+    t.rows;
+  w
+
+let pad s width = s ^ String.make (width - String.length s) ' '
+
+let to_string t =
+  let w = widths t in
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad c w.(i)))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.header;
+  Array.iter
+    (fun width ->
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_string buf "  ")
+    w;
+  Buffer.add_char buf '\n';
+  List.iter emit_row (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let csv_cell c =
+  let needs_quote =
+    String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c
+  in
+  if needs_quote then begin
+    let buf = Buffer.create (String.length c + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf ch)
+      c;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else c
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let emit row =
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (csv_cell c))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit t.header;
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let cell_float x = Printf.sprintf "%.4g" x
+
+let cell_pm mean std = Printf.sprintf "%.4g ± %.2g" mean std

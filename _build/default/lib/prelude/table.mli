@@ -1,0 +1,26 @@
+(** Aligned text tables and CSV output for experiment results. *)
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : string list -> t
+(** [create header] starts a table with the given column names. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Short rows are padded with empty cells; long rows
+    raise [Invalid_argument]. *)
+
+val to_string : t -> string
+(** Render with aligned columns, a header separator, and a trailing
+    newline. *)
+
+val print : t -> unit
+
+val to_csv : t -> string
+(** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)
+
+val cell_float : float -> string
+(** Compact float formatting used throughout the benches ([%.4g]). *)
+
+val cell_pm : float -> float -> string
+(** [cell_pm mean std] renders ["mean ± std"]. *)

@@ -1,0 +1,1 @@
+lib/setcover/reduction.ml: Array List Setcover Tdmd_flow Tdmd_graph

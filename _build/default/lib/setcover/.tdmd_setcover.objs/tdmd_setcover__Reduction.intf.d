@@ -1,0 +1,1 @@
+lib/setcover/reduction.mli: Setcover Tdmd_flow Tdmd_graph

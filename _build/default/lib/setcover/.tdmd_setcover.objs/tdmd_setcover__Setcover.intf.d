@@ -1,0 +1,1 @@
+lib/setcover/setcover.mli:

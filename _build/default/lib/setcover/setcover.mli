@@ -1,0 +1,29 @@
+(** Set cover: the problem the TDMD feasibility check reduces to and from
+    (paper Theorem 1).
+
+    Universe elements are [0 .. universe-1]; each set is an int list.
+    [greedy] is the classical ln(n)-approximation; [exact] is a
+    branch-and-bound over bitsets for the small instances used in tests
+    and in the NP-hardness demonstrations. *)
+
+type t = { universe : int; sets : int list array }
+
+val make : universe:int -> int list list -> t
+(** @raise Invalid_argument if any element is out of range. *)
+
+val covers : t -> int list -> bool
+(** Does the given collection of set indices cover the universe? *)
+
+val greedy : t -> int list option
+(** Indices of a cover chosen greedily (largest uncovered gain first,
+    lowest index wins ties), or [None] when even the full collection
+    does not cover the universe. *)
+
+val exact : t -> int list option
+(** A minimum-cardinality cover.  Exponential in the worst case — meant
+    for universes up to ~60 elements.
+    @raise Invalid_argument if [universe > 62]. *)
+
+val decision : t -> k:int -> bool
+(** Is there a cover of cardinality at most [k]?  (The NP-complete
+    decision problem of the reduction.)  Uses {!exact}. *)

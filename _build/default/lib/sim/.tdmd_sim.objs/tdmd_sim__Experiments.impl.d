@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Array Float List Listx Rng Runner Scenario Stats Sys Tdmd Tdmd_flow Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_traffic Timer

@@ -1,0 +1,1 @@
+lib/sim/report.ml: Buffer Experiments List Printf Runner Stats Table Tdmd_prelude

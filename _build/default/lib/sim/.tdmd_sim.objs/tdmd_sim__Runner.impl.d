@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Hashtbl List Option Rng Stats Tdmd_prelude Timer

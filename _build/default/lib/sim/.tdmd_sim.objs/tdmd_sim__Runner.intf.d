@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Tdmd_prelude

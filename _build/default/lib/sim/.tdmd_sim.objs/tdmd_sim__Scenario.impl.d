@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Tdmd Tdmd_topo Tdmd_traffic

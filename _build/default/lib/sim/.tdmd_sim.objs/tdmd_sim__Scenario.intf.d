@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Tdmd Tdmd_prelude Tdmd_traffic

@@ -1,0 +1,18 @@
+(** Terminal rendering of experiment results: one aligned table per
+    figure panel (bandwidth and execution time), plus the 3-D grids of
+    Fig. 17 and the ablation table.  Values print as "mean ± stddev",
+    matching the paper's error bars. *)
+
+val render_result : Experiments.result -> string
+(** Both panels of a line figure. *)
+
+val render_grid : Experiments.grid -> string
+
+val render_ablation : Experiments.ablation_row list -> string
+
+val result_csv : Experiments.result -> string
+(** Long-format CSV: figure, metric, x, algorithm, mean, stddev, n. *)
+
+val print_result : Experiments.result -> unit
+val print_grid : Experiments.grid -> unit
+val print_ablation : Experiments.ablation_row list -> unit

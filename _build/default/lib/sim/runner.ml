@@ -1,0 +1,106 @@
+open Tdmd_prelude
+
+type observation = {
+  bandwidth : float;
+  seconds : float;
+  feasible : bool;
+}
+
+type point = {
+  x : float;
+  bandwidth : Stats.summary;
+  seconds : Stats.summary;
+  infeasible_runs : int;
+}
+
+let repeat ~seed ~reps f ~x =
+  let master = Rng.create seed in
+  let obs = List.init reps (fun _ -> f (Rng.split master)) in
+  let feasible = List.filter (fun (o : observation) -> o.feasible) obs in
+  let summaries =
+    match feasible with
+    | [] ->
+      (* Degenerate: report over all runs rather than an empty summary. *)
+      obs
+    | _ -> feasible
+  in
+  {
+    x;
+    bandwidth = Stats.summarize (List.map (fun (o : observation) -> o.bandwidth) summaries);
+    seconds = Stats.summarize (List.map (fun (o : observation) -> o.seconds) summaries);
+    infeasible_runs = List.length obs - List.length feasible;
+  }
+
+let measure run extract =
+  let result, seconds = Timer.time run in
+  let bandwidth, feasible = extract result in
+  { bandwidth; seconds; feasible }
+
+type joint_point = {
+  jx : float;
+  by_algo : (string * point) list;
+  redraws : int;
+}
+
+let joint ~domains ~seed ~reps ~x ~build ~algos =
+  let master = Rng.create seed in
+  (* Pre-split one generator per repetition so the results are identical
+     whether repetitions run sequentially or across domains. *)
+  let rep_rngs = List.init reps (fun _ -> Rng.split master) in
+  let run_rep rep_rng =
+    (* Draw instances until every algorithm's plan is feasible, like the
+       paper's "we choose to regenerate a traffic distribution". *)
+    let rec draw tries redraws =
+      let rng = Rng.split rep_rng in
+      let inst = build rng in
+      let obs = List.map (fun (name, f) -> (name, f inst (Rng.split rng))) algos in
+      if List.for_all (fun (_, (o : observation)) -> o.feasible) obs || tries >= 20
+      then (obs, redraws)
+      else draw (tries + 1) (redraws + 1)
+    in
+    draw 0 0
+  in
+  let rep_results = Tdmd_prelude.Parallel.map ~domains run_rep rep_rngs in
+  let acc =
+    List.map (fun (name, _) -> (name, Stats.Welford.create (), Stats.Welford.create ())) algos
+  in
+  let infeasible = Hashtbl.create 8 in
+  let redraws = ref 0 in
+  List.iter
+    (fun (obs, rep_redraws) ->
+      redraws := !redraws + rep_redraws;
+      List.iter2
+        (fun (name, bw, sec) (name', (o : observation)) ->
+          assert (name = name');
+          Stats.Welford.add bw o.bandwidth;
+          Stats.Welford.add sec o.seconds;
+          if not o.feasible then
+            Hashtbl.replace infeasible name
+              (1 + Option.value ~default:0 (Hashtbl.find_opt infeasible name)))
+        acc obs)
+    rep_results;
+  let summary w =
+    {
+      Stats.n = Stats.Welford.count w;
+      mean = Stats.Welford.mean w;
+      stddev = Stats.Welford.stddev w;
+      min = Stats.Welford.min w;
+      max = Stats.Welford.max w;
+    }
+  in
+  {
+    jx = x;
+    by_algo =
+      List.map
+        (fun (name, bw, sec) ->
+          ( name,
+            {
+              x;
+              bandwidth = summary bw;
+              seconds = summary sec;
+              infeasible_runs =
+                Option.value ~default:0 (Hashtbl.find_opt infeasible name);
+            } ))
+        acc;
+    redraws = !redraws;
+  }

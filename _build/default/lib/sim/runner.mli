@@ -1,0 +1,54 @@
+(** Repetition runner: the paper runs every sweep point several times
+    and plots mean with error bars for both metrics (bandwidth and
+    wall-clock execution time). *)
+
+type observation = {
+  bandwidth : float;
+  seconds : float;
+  feasible : bool;
+}
+
+type point = {
+  x : float;                              (** sweep-variable value *)
+  bandwidth : Tdmd_prelude.Stats.summary; (** over feasible repetitions *)
+  seconds : Tdmd_prelude.Stats.summary;
+  infeasible_runs : int;                  (** dropped repetitions *)
+}
+
+val repeat :
+  seed:int -> reps:int -> (Tdmd_prelude.Rng.t -> observation) -> x:float -> point
+(** [repeat ~seed ~reps f ~x] calls [f] with [reps] independent
+    generators split from [seed].  Infeasible observations are dropped
+    from the summaries (the paper "only studies feasible deployments")
+    but counted. *)
+
+val measure : (unit -> 'a) -> ('a -> float * bool) -> observation
+(** [measure run extract] times [run ()] and extracts
+    (bandwidth, feasible) from its result. *)
+
+type joint_point = {
+  jx : float;
+  by_algo : (string * point) list;   (** same algorithm order as given *)
+  redraws : int;                     (** instances regenerated *)
+}
+
+val joint :
+  domains:int ->
+  seed:int ->
+  reps:int ->
+  x:float ->
+  build:(Tdmd_prelude.Rng.t -> 'inst) ->
+  algos:(string * ('inst -> Tdmd_prelude.Rng.t -> observation)) list ->
+  joint_point
+(** The paper's protocol (Sec. 6.1): per repetition, draw ONE instance
+    and score every algorithm on it; if any algorithm's deployment is
+    infeasible, regenerate the traffic (bounded retries — after 20
+    redraws the draw is kept and the infeasibility shows up in the
+    feasible counts) so all algorithms aggregate over identical
+    instances.
+
+    [domains] > 1 spreads repetitions over OCaml 5 domains
+    ({!Tdmd_prelude.Parallel}); repetition generators are pre-split, so
+    bandwidth results are identical to the sequential run — only the
+    wall-clock timing summaries get noisier under core contention, so
+    keep timing-figure runs sequential. *)

@@ -1,0 +1,61 @@
+
+type tree = {
+  size : int;
+  k : int;
+  lambda : float;
+  density : float;
+  rates : Tdmd_traffic.Rate_dist.t;
+  link_capacity : int;
+}
+
+type general = {
+  size : int;
+  k : int;
+  lambda : float;
+  density : float;
+  rates : Tdmd_traffic.Rate_dist.t;
+  link_capacity : int;
+}
+
+(* Paper defaults (Sec. 6.2).  Tree rates are capped lower than the
+   general ones so the pseudo-polynomial DP's b-dimension stays small
+   enough to sweep (the paper's DP likewise dominates every time
+   figure). *)
+let default_tree : tree =
+  {
+    size = 22;
+    k = 8;
+    lambda = 0.5;
+    density = 0.5;
+    rates = Tdmd_traffic.Rate_dist.Caida_like { r_max = 10 };
+    link_capacity = 30;
+  }
+
+let default_general =
+  {
+    size = 30;
+    k = 10;
+    lambda = 0.5;
+    density = 0.5;
+    rates = Tdmd_traffic.Rate_dist.Caida_like { r_max = 50 };
+    link_capacity = 40;
+  }
+
+let build_tree rng (s : tree) =
+  let ark = Tdmd_topo.Ark.generate rng ~n:(max (2 * s.size) 8) in
+  let tree0 = Tdmd_topo.Ark.tree_of rng ark in
+  let tree = Tdmd_topo.Topo_tree.resize rng tree0 s.size in
+  let flows =
+    Tdmd_traffic.Workload.tree_flows rng tree ~rates:s.rates ~density:s.density
+      ~link_capacity:s.link_capacity ()
+  in
+  Tdmd.Instance.Tree.make ~tree ~flows ~lambda:s.lambda
+
+let build_general rng (s : general) =
+  let ark = Tdmd_topo.Ark.generate rng ~n:(max (2 * s.size) 8) in
+  let graph, dests = Tdmd_topo.Ark.general_of rng ark ~size:s.size in
+  let flows =
+    Tdmd_traffic.Workload.general_flows rng graph ~dests ~rates:s.rates
+      ~density:s.density ~link_capacity:s.link_capacity ()
+  in
+  Tdmd.Instance.make ~graph ~flows ~lambda:s.lambda

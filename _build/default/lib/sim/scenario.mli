@@ -1,0 +1,36 @@
+(** Experiment scenarios (paper Sec. 6.1–6.2).
+
+    A scenario fixes the topology family, traffic model and middlebox
+    parameters; sweeps vary exactly one field, keeping the paper's
+    defaults for the rest: tree k = 8, general k = 10, λ = 0.5, flow
+    density 0.5, tree size 22, general size 30. *)
+
+type tree = {
+  size : int;
+  k : int;
+  lambda : float;
+  density : float;
+  rates : Tdmd_traffic.Rate_dist.t;
+  link_capacity : int;
+}
+
+type general = {
+  size : int;
+  k : int;
+  lambda : float;
+  density : float;
+  rates : Tdmd_traffic.Rate_dist.t;
+  link_capacity : int;
+}
+
+val default_tree : tree
+val default_general : general
+
+val build_tree :
+  Tdmd_prelude.Rng.t -> tree -> Tdmd.Instance.Tree.t
+(** Ark-derived spanning tree of the requested size with leaf-to-root
+    CAIDA-like flows at the requested density. *)
+
+val build_general :
+  Tdmd_prelude.Rng.t -> general -> Tdmd.Instance.t
+(** Ark-derived general subgraph with hub destinations. *)

@@ -1,0 +1,1 @@
+lib/submodular/submodular.ml: List Printf Rng Tdmd_heap Tdmd_prelude

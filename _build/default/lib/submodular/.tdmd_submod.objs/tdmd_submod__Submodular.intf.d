@@ -1,0 +1,1 @@
+lib/submodular/submodular.mli: Stdlib Tdmd_prelude

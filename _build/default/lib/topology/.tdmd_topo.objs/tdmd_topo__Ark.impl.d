@@ -1,0 +1,1 @@
+lib/topology/ark.ml: Array Hashtbl List Listx Rng Tdmd_graph Tdmd_prelude Topo_general

@@ -1,0 +1,1 @@
+lib/topology/ark.mli: Rng Tdmd_graph Tdmd_prelude Tdmd_tree

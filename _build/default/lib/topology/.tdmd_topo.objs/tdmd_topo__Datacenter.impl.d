@@ -1,0 +1,1 @@
+lib/topology/datacenter.ml: List Tdmd_graph

@@ -1,0 +1,1 @@
+lib/topology/datacenter.mli: Tdmd_graph

@@ -1,0 +1,1 @@
+lib/topology/random_regular.ml: Array List Rng Tdmd_graph Tdmd_prelude

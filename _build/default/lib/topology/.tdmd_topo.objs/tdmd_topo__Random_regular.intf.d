@@ -1,0 +1,1 @@
+lib/topology/random_regular.mli: Tdmd_graph Tdmd_prelude

@@ -1,0 +1,1 @@
+lib/topology/svg_render.ml: Array Buffer Float List Printf Tdmd_graph Tdmd_tree

@@ -1,0 +1,1 @@
+lib/topology/svg_render.mli: Tdmd_graph Tdmd_tree

@@ -1,0 +1,1 @@
+lib/topology/topo_general.ml: Array Float List Listx Queue Rng Tdmd_graph Tdmd_prelude Tdmd_tree

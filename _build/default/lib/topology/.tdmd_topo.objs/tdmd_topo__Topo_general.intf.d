@@ -1,0 +1,1 @@
+lib/topology/topo_general.mli: Rng Tdmd_graph Tdmd_prelude Tdmd_tree

@@ -1,0 +1,1 @@
+lib/topology/topo_stats.ml: Array Buffer Hashtbl List Option Printf String Tdmd_graph

@@ -1,0 +1,1 @@
+lib/topology/topo_stats.mli: Tdmd_graph

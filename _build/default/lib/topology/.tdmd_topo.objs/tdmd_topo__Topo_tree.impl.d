@@ -1,0 +1,1 @@
+lib/topology/topo_tree.ml: Array List Listx Rng Tdmd_prelude Tdmd_tree

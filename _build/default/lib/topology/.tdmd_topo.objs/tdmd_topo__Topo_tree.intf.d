@@ -1,0 +1,1 @@
+lib/topology/topo_tree.mli: Rng Tdmd_prelude Tdmd_tree

@@ -1,0 +1,87 @@
+open Tdmd_prelude
+module G = Tdmd_graph.Digraph
+
+type t = {
+  graph : G.t;
+  hubs : int list;
+  monitors : int list;
+}
+
+let generate rng ~n =
+  assert (n >= 2);
+  let n_hubs = max (min 3 (n - 1)) (n / 6) in
+  let n_hubs = min n_hubs (n - 1) in
+  let g = G.create n in
+  (* Hub backbone: ring plus random chords for redundancy. *)
+  for h = 0 to n_hubs - 1 do
+    if n_hubs > 1 then G.add_undirected g h ((h + 1) mod n_hubs)
+  done;
+  if n_hubs > 3 then
+    for _ = 1 to n_hubs / 2 do
+      let a = Rng.int rng n_hubs and b = Rng.int rng n_hubs in
+      if a <> b && not (G.mem_edge g a b) then G.add_undirected g a b
+    done;
+  (* Monitors attach to a hub or to a previously placed monitor, giving
+     the hub-and-spoke chains seen in measurement infrastructures. *)
+  for v = n_hubs to n - 1 do
+    let attach_to_hub = v = n_hubs || Rng.float rng 1.0 < 0.7 in
+    let target =
+      if attach_to_hub then Rng.int rng n_hubs else Rng.int_in rng n_hubs (v - 1)
+    in
+    G.add_undirected g v target;
+    (* Occasional second uplink makes the general topology multipath. *)
+    if Rng.float rng 1.0 < 0.25 then begin
+      let alt = Rng.int rng n_hubs in
+      if alt <> target && not (G.mem_edge g v alt) then G.add_undirected g v alt
+    end
+  done;
+  {
+    graph = g;
+    hubs = List.init n_hubs (fun i -> i);
+    monitors = List.init (n - n_hubs) (fun i -> n_hubs + i);
+  }
+
+let tree_of rng t =
+  let root = Rng.choose rng (Array.of_list t.hubs) in
+  Topo_general.spanning_tree rng t.graph ~root
+
+let general_of rng t ~size =
+  let n = G.vertex_count t.graph in
+  let size = min size n in
+  (* Grow a connected vertex set from a random hub by random frontier
+     expansion, so the sample keeps the hub-centred structure. *)
+  let start = Rng.choose rng (Array.of_list t.hubs) in
+  let chosen = Hashtbl.create size in
+  Hashtbl.add chosen start ();
+  let frontier = ref (List.sort_uniq compare (G.succ t.graph start @ G.pred t.graph start)) in
+  while Hashtbl.length chosen < size do
+    let cands = List.filter (fun v -> not (Hashtbl.mem chosen v)) !frontier in
+    match cands with
+    | [] ->
+      (* Disconnected remainder cannot happen (graph is connected), but
+         guard by picking any unchosen vertex adjacent to the set. *)
+      let v =
+        List.find
+          (fun v ->
+            (not (Hashtbl.mem chosen v))
+            && List.exists (fun u -> Hashtbl.mem chosen u) (G.succ t.graph v @ G.pred t.graph v))
+          (Listx.range 0 (n - 1))
+      in
+      Hashtbl.add chosen v ();
+      frontier := G.succ t.graph v @ G.pred t.graph v
+    | _ ->
+      let v = Rng.choose rng (Array.of_list cands) in
+      Hashtbl.add chosen v ();
+      frontier :=
+        List.sort_uniq compare
+          (List.filter (fun u -> not (Hashtbl.mem chosen u))
+             (G.succ t.graph v @ G.pred t.graph v @ cands))
+  done;
+  let keep = Array.of_list (List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) chosen [])) in
+  let sub, mapping = G.induced t.graph keep in
+  let dests = ref [] in
+  Array.iteri
+    (fun new_id old -> if List.mem old t.hubs then dests := new_id :: !dests)
+    mapping;
+  let dests = if !dests = [] then [ 0 ] else List.rev !dests in
+  (sub, dests)

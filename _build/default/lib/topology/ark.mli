@@ -1,0 +1,31 @@
+(** Synthetic CAIDA Archipelago (Ark) style topology.
+
+    The paper simulates on CAIDA's Ark measurement infrastructure
+    (Fig. 8(a)) and "reduces" its tree (Fig. 8(b)) and general
+    (Fig. 8(c)) test topologies from it.  The real monitor adjacency is
+    not redistributable, so this module generates a structural stand-in:
+    a small, densely connected mesh of hub vertices (continental vantage
+    points) with chains/leaves of monitor vertices attached — the
+    hierarchy that makes hub placement matter, which is the property the
+    experiments exercise (see DESIGN.md §2). *)
+
+open Tdmd_prelude
+
+type t = {
+  graph : Tdmd_graph.Digraph.t;
+  hubs : int list;       (** densely meshed backbone vertices *)
+  monitors : int list;   (** degree-1/2 measurement vertices *)
+}
+
+val generate : Rng.t -> n:int -> t
+(** [generate rng ~n] builds an [n]-vertex Ark-like topology with
+    roughly [max 3 (n/6)] hubs.  Always connected. *)
+
+val tree_of : Rng.t -> t -> Tdmd_tree.Rooted_tree.t
+(** The paper's Fig. 8(b): a spanning tree rooted at a hub (the red root
+    that all tree-experiment flows target). *)
+
+val general_of : Rng.t -> t -> size:int -> Tdmd_graph.Digraph.t * int list
+(** The paper's Fig. 8(c): a connected subgraph of the requested size
+    together with its destination vertices (red nodes — the hubs that
+    survive into the subgraph, at least one). *)

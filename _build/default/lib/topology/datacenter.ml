@@ -1,0 +1,81 @@
+module G = Tdmd_graph.Digraph
+
+type fat_tree = {
+  graph : G.t;
+  core : int list;
+  aggregation : int list;
+  edge : int list;
+  hosts : int list;
+}
+
+let fat_tree k =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Datacenter.fat_tree: k must be even, >= 2";
+  let half = k / 2 in
+  let n_core = half * half in
+  let n_agg = k * half in
+  let n_edge = k * half in
+  let n_host = k * half * half in
+  let n = n_core + n_agg + n_edge + n_host in
+  let core i = i in
+  let agg pod i = n_core + (pod * half) + i in
+  let edge pod i = n_core + n_agg + (pod * half) + i in
+  let host pod e i = n_core + n_agg + n_edge + (pod * half * half) + (e * half) + i in
+  let g = G.create n in
+  for pod = 0 to k - 1 do
+    for a = 0 to half - 1 do
+      (* Aggregation switch a of this pod uplinks to core group a. *)
+      for c = 0 to half - 1 do
+        G.add_undirected g (agg pod a) (core ((a * half) + c))
+      done;
+      (* Full bipartite agg–edge mesh within the pod. *)
+      for e = 0 to half - 1 do
+        G.add_undirected g (agg pod a) (edge pod e)
+      done
+    done;
+    for e = 0 to half - 1 do
+      for h = 0 to half - 1 do
+        G.add_undirected g (edge pod e) (host pod e h)
+      done
+    done
+  done;
+  let range f count = List.init count f in
+  {
+    graph = g;
+    core = range core n_core;
+    aggregation = range (fun i -> n_core + i) n_agg;
+    edge = range (fun i -> n_core + n_agg + i) n_edge;
+    hosts = range (fun i -> n_core + n_agg + n_edge + i) n_host;
+  }
+
+type bcube = {
+  graph : G.t;
+  servers : int list;
+  switches : int list;
+}
+
+let bcube ~n ~level =
+  if n < 2 || level < 0 then invalid_arg "Datacenter.bcube: need n >= 2, level >= 0";
+  let pow b e =
+    let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+    go 1 e
+  in
+  let n_servers = pow n (level + 1) in
+  let switches_per_layer = pow n level in
+  let n_switches = (level + 1) * switches_per_layer in
+  let g = G.create (n_servers + n_switches) in
+  let switch layer idx = n_servers + (layer * switches_per_layer) + idx in
+  (* Server s (base-n digits d_level … d_0) connects at layer l to the
+     switch indexed by s with digit l removed. *)
+  for s = 0 to n_servers - 1 do
+    for l = 0 to level do
+      let high = s / pow n (l + 1) in
+      let low = s mod pow n l in
+      let idx = (high * pow n l) + low in
+      G.add_undirected g s (switch l idx)
+    done
+  done;
+  {
+    graph = g;
+    servers = List.init n_servers (fun i -> i);
+    switches = List.init n_switches (fun i -> n_servers + i);
+  }

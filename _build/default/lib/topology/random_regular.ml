@@ -1,0 +1,34 @@
+open Tdmd_prelude
+module G = Tdmd_graph.Digraph
+
+let attempt rng ~n ~degree =
+  (* Configuration model: shuffle n*degree stubs, pair consecutively,
+     reject self-loops and duplicates. *)
+  let stubs = Array.concat (List.init n (fun v -> Array.make degree v)) in
+  Rng.shuffle rng stubs;
+  let g = G.create n in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i + 1 < Array.length stubs do
+    let u = stubs.(!i) and v = stubs.(!i + 1) in
+    if u = v || G.mem_edge g u v then ok := false
+    else G.add_undirected g u v;
+    i := !i + 2
+  done;
+  if !ok && G.is_connected_undirected g then Some g else None
+
+let generate rng ~n ~degree =
+  if degree < 1 || degree >= n then
+    invalid_arg "Random_regular.generate: need 1 <= degree < n";
+  if n * degree mod 2 <> 0 then
+    invalid_arg "Random_regular.generate: n * degree must be even";
+  let rec retry tries =
+    if tries = 0 then
+      invalid_arg "Random_regular.generate: no valid pairing found"
+    else begin
+      match attempt rng ~n ~degree with
+      | Some g -> g
+      | None -> retry (tries - 1)
+    end
+  in
+  retry 2000

@@ -1,0 +1,10 @@
+(** Random regular graphs (Jellyfish-style data-center fabrics,
+    Singla et al., NSDI 2012) via the pairing/configuration model with
+    retry, conditioned on connectivity. *)
+
+val generate :
+  Tdmd_prelude.Rng.t -> n:int -> degree:int -> Tdmd_graph.Digraph.t
+(** Connected [degree]-regular graph on [n] vertices (bidirectional
+    links).  Requires [n * degree] even, [degree < n].
+    @raise Invalid_argument on impossible parameters; retries
+    internally on unlucky pairings. *)

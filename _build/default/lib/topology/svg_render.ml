@@ -1,0 +1,97 @@
+module G = Tdmd_graph.Digraph
+module Rt = Tdmd_tree.Rooted_tree
+
+let header ~width ~height =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n\
+     <rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n"
+    width height width height width height
+
+let vertex_svg ~x ~y ~label ~is_box ~is_highlight =
+  let fill = if is_highlight then "#d62728" else "#aec7e8" in
+  let shape =
+    if is_box then
+      Printf.sprintf
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"16\" height=\"16\" fill=\"%s\" stroke=\"black\"/>"
+        (x -. 8.0) (y -. 8.0) fill
+    else
+      Printf.sprintf
+        "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"9\" fill=\"%s\" stroke=\"black\"/>" x y
+        fill
+  in
+  Printf.sprintf
+    "%s\n<text x=\"%.1f\" y=\"%.1f\" font-size=\"8\" text-anchor=\"middle\" dy=\"3\">%s</text>\n"
+    shape x y label
+
+let edge_svg (x1, y1) (x2, y2) =
+  Printf.sprintf
+    "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#888\" stroke-width=\"1\"/>\n"
+    x1 y1 x2 y2
+
+let emit_vertices buf positions ~boxes ~highlight n =
+  for v = 0 to n - 1 do
+    let x, y = positions.(v) in
+    Buffer.add_string buf
+      (vertex_svg ~x ~y ~label:(string_of_int v) ~is_box:(List.mem v boxes)
+         ~is_highlight:(List.mem v highlight))
+  done
+
+let graph ?(highlight = []) ?(boxes = []) g =
+  let n = G.vertex_count g in
+  let size = max 300 (40 * n / 3) in
+  let radius = (float_of_int size /. 2.0) -. 30.0 in
+  let centre = float_of_int size /. 2.0 in
+  let positions =
+    Array.init n (fun v ->
+        let angle = 2.0 *. Float.pi *. float_of_int v /. float_of_int (max n 1) in
+        (centre +. (radius *. cos angle), centre +. (radius *. sin angle)))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header ~width:size ~height:size);
+  List.iter
+    (fun e ->
+      (* Draw each undirected link once. *)
+      if e.G.src < e.G.dst || not (G.mem_edge g e.G.dst e.G.src) then
+        Buffer.add_string buf (edge_svg positions.(e.G.src) positions.(e.G.dst)))
+    (G.edges g);
+  emit_vertices buf positions ~boxes ~highlight n;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let tree ?(highlight = []) ?(boxes = []) t =
+  let n = Rt.size t in
+  let height_levels = Rt.height t + 1 in
+  (* Assign each vertex an x slot: leaves in left-to-right order, inner
+     vertices centred over their children. *)
+  let xs = Array.make n 0.0 in
+  let next_leaf = ref 0 in
+  let rec place v =
+    match Rt.children t v with
+    | [] ->
+      xs.(v) <- float_of_int !next_leaf;
+      incr next_leaf
+    | children ->
+      List.iter place children;
+      let lo = xs.(List.hd children) in
+      let hi = xs.(List.nth children (List.length children - 1)) in
+      xs.(v) <- (lo +. hi) /. 2.0
+  in
+  place (Rt.root t);
+  let leaves = max !next_leaf 1 in
+  let width = max 300 (60 * leaves) in
+  let height = max 200 (70 * height_levels) in
+  let positions =
+    Array.init n (fun v ->
+        ( 30.0
+          +. (xs.(v) *. (float_of_int (width - 60) /. float_of_int (max (leaves - 1) 1))),
+          35.0 +. (float_of_int (Rt.depth t v) *. 60.0) ))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header ~width ~height);
+  for v = 0 to n - 1 do
+    let p = Rt.parent t v in
+    if p >= 0 then Buffer.add_string buf (edge_svg positions.(v) positions.(p))
+  done;
+  emit_vertices buf positions ~boxes ~highlight n;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

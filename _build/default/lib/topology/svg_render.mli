@@ -1,0 +1,21 @@
+(** Minimal SVG rendering of topologies and deployments.
+
+    Circular layout for general graphs, layered layout for rooted
+    trees.  Vertices carrying a middlebox are drawn as filled squares
+    (the paper's Fig. 1 convention); flow sources can be highlighted.
+    Output is a standalone [<svg>] document string. *)
+
+val graph :
+  ?highlight:int list ->
+  ?boxes:int list ->
+  Tdmd_graph.Digraph.t ->
+  string
+(** Circular layout.  [boxes]: middlebox vertices (squares);
+    [highlight]: e.g. destination vertices (red fill). *)
+
+val tree :
+  ?highlight:int list ->
+  ?boxes:int list ->
+  Tdmd_tree.Rooted_tree.t ->
+  string
+(** Root on top, one row per depth, subtrees spread evenly. *)

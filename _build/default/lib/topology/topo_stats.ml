@@ -1,0 +1,61 @@
+module G = Tdmd_graph.Digraph
+
+type t = {
+  vertices : int;
+  undirected_links : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  diameter : float;
+  mean_distance : float;
+  degree_histogram : (int * int) list;
+}
+
+let undirected_degree g v =
+  List.length (List.sort_uniq compare (G.succ g v @ G.pred g v))
+
+let compute g =
+  let n = G.vertex_count g in
+  let degrees = Array.init n (undirected_degree g) in
+  let links =
+    List.fold_left
+      (fun acc e ->
+        let open G in
+        if e.src < e.dst || not (mem_edge g e.dst e.src) then acc + 1 else acc)
+      0 (G.edges g)
+  in
+  (* Hop metrics on the unit-weight view. *)
+  let unit = G.create n in
+  List.iter (fun e -> G.add_edge unit e.G.src e.G.dst) (G.edges g);
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun d ->
+      Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    degrees;
+  {
+    vertices = n;
+    undirected_links = links;
+    min_degree = Array.fold_left min max_int degrees;
+    max_degree = Array.fold_left max 0 degrees;
+    mean_degree =
+      Array.fold_left (fun acc d -> acc +. float_of_int d) 0.0 degrees
+      /. float_of_int (max n 1);
+    diameter = Tdmd_graph.Floyd_warshall.diameter unit;
+    mean_distance = Tdmd_graph.Floyd_warshall.mean_finite_distance unit;
+    degree_histogram =
+      Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
+      |> List.sort compare;
+  }
+
+let render t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "vertices:          %d\n" t.vertices;
+  Printf.bprintf buf "undirected links:  %d\n" t.undirected_links;
+  Printf.bprintf buf "degree:            min %d / mean %.2f / max %d\n" t.min_degree
+    t.mean_degree t.max_degree;
+  Printf.bprintf buf "hop diameter:      %g\n" t.diameter;
+  Printf.bprintf buf "mean hop distance: %.2f\n" t.mean_distance;
+  Printf.bprintf buf "degree histogram:  %s\n"
+    (String.concat ", "
+       (List.map (fun (d, c) -> Printf.sprintf "%d:%d" d c) t.degree_histogram));
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Structural statistics of generated topologies — the numbers behind
+    the paper's Fig. 8 panels (what the Ark-derived test networks look
+    like), printed by the CLI and checked by tests. *)
+
+type t = {
+  vertices : int;
+  undirected_links : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  diameter : float;           (** hop diameter (weights ignored) *)
+  mean_distance : float;      (** mean pairwise hop distance *)
+  degree_histogram : (int * int) list;  (** (degree, #vertices), ascending *)
+}
+
+val compute : Tdmd_graph.Digraph.t -> t
+(** Degrees count undirected neighbours (arc pairs collapse). *)
+
+val render : t -> string

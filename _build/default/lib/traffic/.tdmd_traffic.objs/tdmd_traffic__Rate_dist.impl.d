@@ -1,0 +1,1 @@
+lib/traffic/rate_dist.ml: Float Rng Tdmd_prelude

@@ -1,0 +1,1 @@
+lib/traffic/rate_dist.mli: Rng Tdmd_prelude

@@ -1,0 +1,1 @@
+lib/traffic/temporal.ml: Hashtbl List Rng Tdmd_flow Tdmd_prelude

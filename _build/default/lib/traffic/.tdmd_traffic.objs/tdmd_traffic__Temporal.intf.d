@@ -1,0 +1,1 @@
+lib/traffic/temporal.mli: Tdmd_flow Tdmd_prelude

@@ -1,0 +1,1 @@
+lib/traffic/trace.ml: Array Buffer Fun In_channel List Option Printf String Sys Tdmd_flow

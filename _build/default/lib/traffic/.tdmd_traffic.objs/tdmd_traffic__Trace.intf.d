@@ -1,0 +1,1 @@
+lib/traffic/trace.mli: Tdmd_flow

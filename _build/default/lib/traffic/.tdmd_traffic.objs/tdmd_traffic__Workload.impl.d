@@ -1,0 +1,1 @@
+lib/traffic/workload.ml: Array Float List Rate_dist Rng Tdmd_flow Tdmd_graph Tdmd_prelude Tdmd_tree

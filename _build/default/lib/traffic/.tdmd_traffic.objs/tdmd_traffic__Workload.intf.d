@@ -1,0 +1,1 @@
+lib/traffic/workload.mli: Rate_dist Rng Tdmd_flow Tdmd_graph Tdmd_prelude Tdmd_tree

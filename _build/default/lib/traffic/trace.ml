@@ -1,0 +1,61 @@
+module Flow = Tdmd_flow.Flow
+
+let to_csv flows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "id,rate,path\n";
+  List.iter
+    (fun f ->
+      let path =
+        String.concat "-" (List.map string_of_int (Array.to_list f.Flow.path))
+      in
+      Buffer.add_string buf (Printf.sprintf "%d,%d,%s\n" f.Flow.id f.Flow.rate path))
+    flows;
+  Buffer.contents buf
+
+let parse_row line_no line =
+  match String.split_on_char ',' line with
+  | [ id; rate; path ] -> (
+    match
+      ( int_of_string_opt (String.trim id),
+        int_of_string_opt (String.trim rate),
+        String.split_on_char '-' (String.trim path)
+        |> List.map (fun s -> int_of_string_opt (String.trim s)) )
+    with
+    | Some id, Some rate, hops when List.for_all Option.is_some hops -> (
+      let path = List.map Option.get hops in
+      try Ok (Flow.make ~id ~rate ~path)
+      with Invalid_argument msg -> Error (Printf.sprintf "line %d: %s" line_no msg))
+    | _ -> Error (Printf.sprintf "line %d: malformed fields" line_no))
+  | _ -> Error (Printf.sprintf "line %d: expected 3 columns" line_no)
+
+let of_csv text =
+  match String.split_on_char '\n' text with
+  | [] -> Error "empty input"
+  | header :: rows ->
+    if String.trim header <> "id,rate,path" then Error "missing id,rate,path header"
+    else begin
+      let rec go line_no acc = function
+        | [] -> Ok (List.rev acc)
+        | row :: rest when String.trim row = "" -> go (line_no + 1) acc rest
+        | row :: rest -> (
+          match parse_row line_no row with
+          | Ok f -> go (line_no + 1) (f :: acc) rest
+          | Error e -> Error e)
+      in
+      go 2 [] rows
+    end
+
+let save path flows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv flows))
+
+let load path =
+  if not (Sys.file_exists path) then Error (path ^ ": no such file")
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_csv (In_channel.input_all ic))
+  end

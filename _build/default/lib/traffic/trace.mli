@@ -1,0 +1,15 @@
+(** Flow-set persistence: a tiny CSV codec so generated workloads can be
+    saved, inspected, and replayed bit-for-bit across runs (the stand-in
+    for the paper's captured CAIDA trace file). *)
+
+val to_csv : Tdmd_flow.Flow.t list -> string
+(** Header [id,rate,path]; paths are ['-']-separated vertex ids. *)
+
+val of_csv : string -> (Tdmd_flow.Flow.t list, string) result
+(** Parses what {!to_csv} produces (header required).  Returns a
+    descriptive error on malformed rows rather than raising. *)
+
+val save : string -> Tdmd_flow.Flow.t list -> unit
+(** Write to a file path. *)
+
+val load : string -> (Tdmd_flow.Flow.t list, string) result

@@ -1,0 +1,1 @@
+lib/tree/euler_lca.ml: Array List Rooted_tree

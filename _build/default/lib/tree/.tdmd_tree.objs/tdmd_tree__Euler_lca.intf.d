@@ -1,0 +1,1 @@
+lib/tree/euler_lca.mli: Rooted_tree

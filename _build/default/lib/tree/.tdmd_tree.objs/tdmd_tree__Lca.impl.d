@@ -1,0 +1,1 @@
+lib/tree/lca.ml: Array Rooted_tree

@@ -1,0 +1,1 @@
+lib/tree/lca.mli: Rooted_tree

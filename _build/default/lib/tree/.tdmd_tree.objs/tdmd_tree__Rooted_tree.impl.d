@@ -1,0 +1,1 @@
+lib/tree/rooted_tree.ml: Array List Queue Tdmd_graph

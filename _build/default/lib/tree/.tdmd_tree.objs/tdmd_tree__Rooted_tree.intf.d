@@ -1,0 +1,1 @@
+lib/tree/rooted_tree.mli: Tdmd_graph

@@ -1,0 +1,1 @@
+lib/tree/tree_print.ml: Buffer Rooted_tree

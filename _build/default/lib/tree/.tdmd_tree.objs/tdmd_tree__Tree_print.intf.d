@@ -1,0 +1,1 @@
+lib/tree/tree_print.mli: Rooted_tree

@@ -1,0 +1,55 @@
+type t = {
+  euler : int array;        (* vertex at each tour position *)
+  depth : int array;        (* depth at each tour position *)
+  first : int array;        (* first tour position of each vertex *)
+  table : int array array;  (* sparse table of argmin positions *)
+  log2 : int array;         (* floor(log2 i) for 1 <= i <= tour length *)
+}
+
+let build tree =
+  let n = Rooted_tree.size tree in
+  let tour_len = (2 * n) - 1 in
+  let euler = Array.make tour_len 0 in
+  let depth = Array.make tour_len 0 in
+  let first = Array.make n (-1) in
+  let pos = ref 0 in
+  let rec visit v =
+    euler.(!pos) <- v;
+    depth.(!pos) <- Rooted_tree.depth tree v;
+    if first.(v) < 0 then first.(v) <- !pos;
+    incr pos;
+    List.iter
+      (fun c ->
+        visit c;
+        euler.(!pos) <- v;
+        depth.(!pos) <- Rooted_tree.depth tree v;
+        incr pos)
+      (Rooted_tree.children tree v)
+  in
+  visit (Rooted_tree.root tree);
+  assert (!pos = tour_len);
+  let log2 = Array.make (tour_len + 1) 0 in
+  for i = 2 to tour_len do
+    log2.(i) <- log2.(i / 2) + 1
+  done;
+  let levels = log2.(tour_len) + 1 in
+  let table = Array.make levels [||] in
+  table.(0) <- Array.init tour_len (fun i -> i);
+  for j = 1 to levels - 1 do
+    let span = 1 lsl j in
+    let prev = table.(j - 1) in
+    let width = tour_len - span + 1 in
+    table.(j) <-
+      Array.init (max width 0) (fun i ->
+          let a = prev.(i) and b = prev.(i + (span / 2)) in
+          if depth.(a) <= depth.(b) then a else b)
+  done;
+  { euler; depth; first; table; log2 }
+
+let query t u v =
+  let a = t.first.(u) and b = t.first.(v) in
+  let lo, hi = if a <= b then (a, b) else (b, a) in
+  let j = t.log2.(hi - lo + 1) in
+  let x = t.table.(j).(lo) in
+  let y = t.table.(j).(hi - (1 lsl j) + 1) in
+  t.euler.(if t.depth.(x) <= t.depth.(y) then x else y)

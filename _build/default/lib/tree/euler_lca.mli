@@ -1,0 +1,11 @@
+(** LCA via Euler tour + sparse-table RMQ (Bender–Farach-Colton).
+
+    A second, independent LCA implementation: O(n log n) build, O(1)
+    query.  HAT uses {!Lca} (binary lifting); the property tests drive
+    both against {!Lca.naive} and each other, and the ablation bench
+    compares their query costs. *)
+
+type t
+
+val build : Rooted_tree.t -> t
+val query : t -> int -> int -> int

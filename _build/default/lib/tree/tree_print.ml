@@ -1,0 +1,26 @@
+let render ?(label = string_of_int) tree =
+  let buf = Buffer.create 256 in
+  let rec go prefix is_last v =
+    Buffer.add_string buf prefix;
+    if v <> Rooted_tree.root tree then
+      Buffer.add_string buf (if is_last then "`-- " else "|-- ");
+    Buffer.add_string buf (label v);
+    Buffer.add_char buf '\n';
+    let children = Rooted_tree.children tree v in
+    let child_prefix =
+      if v = Rooted_tree.root tree then prefix
+      else prefix ^ (if is_last then "    " else "|   ")
+    in
+    let rec emit = function
+      | [] -> ()
+      | [ c ] -> go child_prefix true c
+      | c :: rest ->
+        go child_prefix false c;
+        emit rest
+    in
+    emit children
+  in
+  go "" true (Rooted_tree.root tree);
+  Buffer.contents buf
+
+let print ?label tree = print_string (render ?label tree)

@@ -1,0 +1,10 @@
+(** ASCII rendering of rooted trees for examples and the CLI.
+
+    Vertices can be annotated (e.g. "[M]" for a placed middlebox, flow
+    rates at leaves) through the [label] callback. *)
+
+val render : ?label:(int -> string) -> Rooted_tree.t -> string
+(** One vertex per line, children indented under their parent with
+    box-drawing guides.  Default label: the vertex id. *)
+
+val print : ?label:(int -> string) -> Rooted_tree.t -> unit

@@ -1,0 +1,1 @@
+test/fixtures.ml: List Rng Tdmd Tdmd_flow Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_tree

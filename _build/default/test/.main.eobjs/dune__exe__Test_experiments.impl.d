@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List String Tdmd_prelude Tdmd_sim

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Filename Fixtures Float Fun Hashtbl List Printf QCheck QCheck_alcotest Rng String Sys Tdmd Tdmd_flow Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_traffic Tdmd_tree

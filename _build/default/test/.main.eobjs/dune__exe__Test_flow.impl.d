@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Gen List QCheck QCheck_alcotest Tdmd_flow Tdmd_graph

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List QCheck QCheck_alcotest String Tdmd_graph Tdmd_prelude Tdmd_topo

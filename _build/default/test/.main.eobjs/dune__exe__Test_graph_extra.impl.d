@@ -1,0 +1,1 @@
+test/test_graph_extra.ml: Alcotest Array Float List Listx QCheck QCheck_alcotest Rng Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_tree

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Binary_heap Float Hashtbl Indexed_heap List Pairing_heap QCheck QCheck_alcotest Tdmd_heap

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Fixtures Float List QCheck QCheck_alcotest Rng Tdmd Tdmd_flow Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_tree

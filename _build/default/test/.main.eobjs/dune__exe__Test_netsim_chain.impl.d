@@ -1,0 +1,1 @@
+test/test_netsim_chain.ml: Alcotest Array Fixtures Float List Listx Printf QCheck QCheck_alcotest Rng String Tdmd Tdmd_flow Tdmd_graph Tdmd_netsim Tdmd_prelude Tdmd_topo Tdmd_traffic

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Fixtures List Printf Tdmd

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Histogram List Listx Parallel Rng Stats String Table Tdmd_prelude Timer

@@ -1,0 +1,1 @@
+test/test_setcover.ml: Alcotest Fixtures List QCheck QCheck_alcotest Tdmd Tdmd_graph Tdmd_prelude Tdmd_setcover

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Rng Stats Tdmd Tdmd_graph Tdmd_prelude Tdmd_sim Tdmd_tree

@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Array Fixtures Float List QCheck QCheck_alcotest Rng Tdmd Tdmd_prelude Tdmd_submod Tdmd_topo Tdmd_tree

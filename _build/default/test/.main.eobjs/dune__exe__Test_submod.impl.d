@@ -1,0 +1,1 @@
+test/test_submod.ml: Alcotest Array Fixtures Float Hashtbl List QCheck QCheck_alcotest Rng Tdmd Tdmd_prelude Tdmd_submod

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest List QCheck QCheck_alcotest Rng String Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_tree

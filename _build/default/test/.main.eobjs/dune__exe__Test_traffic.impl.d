@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Float List Printf Rng Tdmd_flow Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_traffic Tdmd_tree

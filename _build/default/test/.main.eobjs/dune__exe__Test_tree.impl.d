@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array List Printf QCheck QCheck_alcotest Tdmd_graph Tdmd_prelude Tdmd_topo Tdmd_tree

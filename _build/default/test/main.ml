@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "tdmd"
+    [
+      ("prelude", Test_prelude.suite);
+      ("heap", Test_heap.suite);
+      ("graph", Test_graph.suite);
+      ("graph-extra", Test_graph_extra.suite);
+      ("tree", Test_tree.suite);
+      ("flow", Test_flow.suite);
+      ("traffic", Test_traffic.suite);
+      ("topology", Test_topo.suite);
+      ("setcover", Test_setcover.suite);
+      ("submodular", Test_submod.suite);
+      ("model", Test_model.suite);
+      ("solvers", Test_solvers.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("extensions", Test_extensions.suite);
+      ("netsim-chain", Test_netsim_chain.suite);
+      ("sim", Test_sim.suite);
+      ("experiments", Test_experiments.suite);
+    ]

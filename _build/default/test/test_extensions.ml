@@ -1,0 +1,402 @@
+(* Extension modules: the binary-tree DP transcription (Eqs. 7-8),
+   local search, bounds, incremental maintenance, plus the Euler-tour
+   LCA and the auxiliary traffic machinery. *)
+
+open Tdmd_prelude
+module P = Tdmd.Placement
+module Flow = Tdmd_flow.Flow
+module Rt = Tdmd_tree.Rooted_tree
+
+(* ------------------------------------------------------------------ *)
+(* Dp_binary vs Dp                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_dp_binary_fig5 () =
+  let inst = Fixtures.fig5_instance () in
+  List.iter
+    (fun k ->
+      let a = Tdmd.Dp.solve ~k inst in
+      let b = Tdmd.Dp_binary.solve ~k inst in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "values equal at k=%d" k)
+        a.Tdmd.Dp.bandwidth b.Tdmd.Dp_binary.bandwidth)
+    [ 1; 2; 3; 4 ]
+
+let prop_dp_binary_matches_general =
+  QCheck.Test.make ~name:"binary-tree DP (eqs 7-8) = general DP" ~count:60
+    QCheck.(triple (int_bound 100000) (int_range 2 15) (int_range 1 5))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let tree = Tdmd_topo.Topo_tree.random_binary rng n in
+      let leaves = List.filter (fun v -> v <> Rt.root tree) (Rt.leaves tree) in
+      let flows =
+        List.mapi
+          (fun id leaf ->
+            Flow.make ~id ~rate:(Rng.int_in rng 1 5) ~path:(Rt.path_to_root tree leaf))
+          leaves
+      in
+      let inst = Tdmd.Instance.Tree.make ~tree ~flows ~lambda:0.5 in
+      let a = Tdmd.Dp.solve ~k inst in
+      let b = Tdmd.Dp_binary.solve ~k inst in
+      a.Tdmd.Dp.feasible = b.Tdmd.Dp_binary.feasible
+      && ((not a.Tdmd.Dp.feasible)
+         || Float.abs (a.Tdmd.Dp.bandwidth -. b.Tdmd.Dp_binary.bandwidth) < 1e-6))
+
+let test_dp_binary_rejects_wide () =
+  let tree = Tdmd_topo.Topo_tree.star 5 in
+  let flows =
+    [ Flow.make ~id:0 ~rate:1 ~path:(Rt.path_to_root tree 1) ]
+  in
+  let inst = Tdmd.Instance.Tree.make ~tree ~flows ~lambda:0.5 in
+  Alcotest.check_raises "more than two children"
+    (Invalid_argument "Dp_binary.solve: vertex has more than two children")
+    (fun () -> ignore (Tdmd.Dp_binary.solve ~k:2 inst))
+
+let prop_dp_binary_placement_consistent =
+  QCheck.Test.make ~name:"binary DP traceback evaluates to its value" ~count:40
+    QCheck.(pair (int_bound 100000) (int_range 2 15))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let tree = Tdmd_topo.Topo_tree.random_binary rng n in
+      let leaves = List.filter (fun v -> v <> Rt.root tree) (Rt.leaves tree) in
+      let flows =
+        List.mapi
+          (fun id leaf ->
+            Flow.make ~id ~rate:(Rng.int_in rng 1 4) ~path:(Rt.path_to_root tree leaf))
+          leaves
+      in
+      let inst = Tdmd.Instance.Tree.make ~tree ~flows ~lambda:0.3 in
+      let r = Tdmd.Dp_binary.solve ~k:3 inst in
+      (not r.Tdmd.Dp_binary.feasible)
+      || Float.abs
+           (Tdmd.Bandwidth.total (Tdmd.Instance.Tree.to_general inst)
+              r.Tdmd.Dp_binary.placement
+           -. r.Tdmd.Dp_binary.bandwidth)
+         < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Local search                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_local_search_improves_fig1 () =
+  let inst = Fixtures.fig1_instance () in
+  (* Start from the feasible-but-poor all-at-destination plan {v1,v2}. *)
+  let start = P.of_list [ 0; 1 ] in
+  let r = Tdmd.Local_search.refine ~k:2 inst start in
+  Alcotest.(check bool) "improved" true (r.Tdmd.Local_search.bandwidth < 16.0);
+  Alcotest.(check (float 1e-9)) "reaches the k=2 optimum" 12.0
+    r.Tdmd.Local_search.bandwidth;
+  Alcotest.(check bool) "still feasible" true
+    (Tdmd.Feasibility.check inst r.Tdmd.Local_search.placement)
+
+let test_local_search_rejects_infeasible () =
+  let inst = Fixtures.fig1_instance () in
+  Alcotest.check_raises "infeasible start"
+    (Invalid_argument "Local_search.refine: infeasible starting deployment")
+    (fun () -> ignore (Tdmd.Local_search.refine ~k:1 inst (P.of_list [ 3 ])))
+
+let prop_local_search_never_worse =
+  QCheck.Test.make ~name:"local search never worsens and stays feasible"
+    ~count:40
+    QCheck.(triple (int_bound 100000) (int_range 3 12) (int_range 1 4))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst =
+        Fixtures.random_general_instance rng ~n ~flows:(2 * n) ~max_rate:5 ~lambda:0.5
+      in
+      let gtp = Tdmd.Gtp.run ~budget:k inst in
+      (not gtp.Tdmd.Gtp.feasible)
+      || begin
+           let r = Tdmd.Local_search.refine ~k inst gtp.Tdmd.Gtp.placement in
+           r.Tdmd.Local_search.bandwidth <= gtp.Tdmd.Gtp.bandwidth +. 1e-9
+           && Tdmd.Feasibility.check inst r.Tdmd.Local_search.placement
+           && P.size r.Tdmd.Local_search.placement <= k
+         end)
+
+(* ------------------------------------------------------------------ *)
+(* Bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bounds_fig1 () =
+  let inst = Fixtures.fig1_instance () in
+  let b = Tdmd.Bounds.compute ~k:3 inst in
+  Alcotest.(check (float 1e-9)) "unprocessed" 16.0 b.Tdmd.Bounds.unprocessed;
+  Alcotest.(check (float 1e-9)) "all sources" 8.0 b.Tdmd.Bounds.all_sources;
+  (* top-3 singleton decrements: 4 + 3 + 3 = 10 -> 16 - 10 = 6 < 8. *)
+  Alcotest.(check (float 1e-9)) "k-aware lower" 8.0 b.Tdmd.Bounds.k_lower;
+  Alcotest.(check bool) "upper above optimum" true (b.Tdmd.Bounds.k_upper >= 8.0);
+  Alcotest.(check bool) "check accepts the optimum" true
+    (Tdmd.Bounds.check ~k:3 inst 8.0);
+  Alcotest.(check bool) "check rejects impossible" false
+    (Tdmd.Bounds.check ~k:3 inst 4.0)
+
+let prop_bounds_sandwich_solvers =
+  QCheck.Test.make ~name:"bounds sandwich every solver" ~count:40
+    QCheck.(triple (int_bound 100000) (int_range 2 12) (int_range 1 4))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_tree_instance rng ~n ~max_rate:5 ~lambda:0.5 in
+      let general = Tdmd.Instance.Tree.to_general inst in
+      let b = Tdmd.Bounds.compute ~k general in
+      let dp = Tdmd.Dp.solve ~k inst in
+      let hat = Tdmd.Hat.run ~k inst in
+      b.Tdmd.Bounds.k_lower <= dp.Tdmd.Dp.bandwidth +. 1e-6
+      && dp.Tdmd.Dp.bandwidth <= b.Tdmd.Bounds.unprocessed +. 1e-6
+      && Tdmd.Bounds.check ~k general hat.Tdmd.Hat.bandwidth)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance                                             *)
+(* ------------------------------------------------------------------ *)
+
+let chain_graph n =
+  let g = Tdmd_graph.Digraph.create n in
+  for v = 1 to n - 1 do
+    Tdmd_graph.Digraph.add_undirected g v (v - 1)
+  done;
+  g
+
+let test_incremental_basic () =
+  let g = chain_graph 5 in
+  let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k:2 in
+  Alcotest.(check bool) "empty is feasible" true (Tdmd.Incremental.feasible t);
+  Tdmd.Incremental.arrive t (Flow.make ~id:0 ~rate:4 ~path:[ 4; 3; 2; 1; 0 ]);
+  Alcotest.(check bool) "served after arrival" true (Tdmd.Incremental.feasible t);
+  Alcotest.(check int) "one box" 1 (P.size (Tdmd.Incremental.placement t));
+  (* Best serving vertex for a single flow is its source. *)
+  Alcotest.(check (list int)) "box at source" [ 4 ]
+    (P.to_list (Tdmd.Incremental.placement t));
+  Tdmd.Incremental.arrive t (Flow.make ~id:1 ~rate:2 ~path:[ 2; 1; 0 ]);
+  Alcotest.(check bool) "still feasible" true (Tdmd.Incremental.feasible t);
+  Alcotest.(check bool) "within budget" true
+    (P.size (Tdmd.Incremental.placement t) <= 2);
+  Tdmd.Incremental.depart t 0;
+  Alcotest.(check bool) "feasible after departure" true (Tdmd.Incremental.feasible t);
+  Alcotest.(check int) "one flow left" 1 (List.length (Tdmd.Incremental.flows t));
+  Alcotest.(check bool) "moves counted" true (Tdmd.Incremental.moves t >= 2)
+
+let test_incremental_rejects () =
+  let g = chain_graph 3 in
+  let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k:1 in
+  Tdmd.Incremental.arrive t (Flow.make ~id:0 ~rate:1 ~path:[ 2; 1; 0 ]);
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Incremental.arrive: duplicate flow id") (fun () ->
+      Tdmd.Incremental.arrive t (Flow.make ~id:0 ~rate:1 ~path:[ 1; 0 ]))
+
+let prop_incremental_stays_feasible =
+  QCheck.Test.make ~name:"incremental stays feasible through random churn"
+    ~count:30
+    QCheck.(pair (int_bound 100000) (int_range 4 14))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Tdmd_topo.Topo_general.erdos_renyi rng n ~p:0.3 in
+      let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k:(max 2 (n / 3)) in
+      let next_id = ref 0 in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        if Rng.float rng 1.0 < 0.6 || Tdmd.Incremental.flows t = [] then begin
+          let src = Rng.int rng n and dst = Rng.int rng n in
+          if src <> dst then begin
+            match Tdmd_graph.Bfs.shortest_path g ~src ~dst with
+            | Some path ->
+              Tdmd.Incremental.arrive t
+                (Flow.make ~id:!next_id ~rate:(Rng.int_in rng 1 5) ~path);
+              incr next_id
+            | None -> ()
+          end
+        end
+        else begin
+          let fs = Tdmd.Incremental.flows t in
+          let victim = List.nth fs (Rng.int rng (List.length fs)) in
+          Tdmd.Incremental.depart t victim.Flow.id
+        end;
+        if not (Tdmd.Incremental.feasible t) then begin
+          (* Infeasibility is acceptable only when even the set-cover
+             greedy cannot serve the current flows within k (the
+             maintainer's last resort is exactly that cover). *)
+          let inst = Tdmd.Incremental.instance t in
+          match Tdmd.Feasibility.greedy_cover inst with
+          | Some cover when P.size cover <= max 2 (n / 3) -> ok := false
+          | _ -> ()
+        end
+      done;
+      !ok)
+
+let test_incremental_quality_vs_scratch () =
+  (* Across a timeline, the maintained deployment should stay within a
+     reasonable factor of from-scratch GTP on each snapshot. *)
+  let rng = Rng.create 77 in
+  let g = Tdmd_topo.Topo_general.erdos_renyi rng 12 ~p:0.3 in
+  let k = 4 in
+  let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k in
+  let next_id = ref 0 in
+  let worst_ratio = ref 1.0 in
+  for _ = 1 to 25 do
+    (if Rng.float rng 1.0 < 0.7 || Tdmd.Incremental.flows t = [] then begin
+       let src = Rng.int rng 12 and dst = Rng.int rng 12 in
+       if src <> dst then begin
+         match Tdmd_graph.Bfs.shortest_path g ~src ~dst with
+         | Some path ->
+           Tdmd.Incremental.arrive t
+             (Flow.make ~id:!next_id ~rate:(Rng.int_in rng 1 5) ~path);
+           incr next_id
+         | None -> ()
+       end
+     end
+     else begin
+       let fs = Tdmd.Incremental.flows t in
+       let victim = List.nth fs (Rng.int rng (List.length fs)) in
+       Tdmd.Incremental.depart t victim.Flow.id
+     end);
+    if Tdmd.Incremental.flows t <> [] then begin
+      let scratch = Tdmd.Gtp.run ~budget:k (Tdmd.Incremental.instance t) in
+      if scratch.Tdmd.Gtp.bandwidth > 0.0 then begin
+        let ratio = Tdmd.Incremental.bandwidth t /. scratch.Tdmd.Gtp.bandwidth in
+        if ratio > !worst_ratio then worst_ratio := ratio
+      end
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "within 2x of scratch GTP (worst %.2f)" !worst_ratio)
+    true (!worst_ratio <= 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Euler-tour LCA and tree printing                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_euler_lca_matches =
+  QCheck.Test.make ~name:"euler-tour LCA = binary lifting = naive" ~count:60
+    QCheck.(pair (int_range 2 60) (int_bound 100000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let tree = Tdmd_topo.Topo_tree.random_attachment rng n in
+      let lift = Tdmd_tree.Lca.build tree in
+      let euler = Tdmd_tree.Euler_lca.build tree in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        let a = Tdmd_tree.Lca.query lift u v in
+        let b = Tdmd_tree.Euler_lca.query euler u v in
+        let c = Tdmd_tree.Lca.naive tree u v in
+        if a <> b || b <> c then ok := false
+      done;
+      !ok)
+
+let test_tree_print () =
+  let tree = Fixtures.fig5_tree () in
+  let s = Tdmd_tree.Tree_print.render tree in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "one line per vertex" 8 (List.length lines);
+  Alcotest.(check string) "root first" "0" (List.hd lines);
+  let labelled =
+    Tdmd_tree.Tree_print.render ~label:(fun v -> Printf.sprintf "v%d" (v + 1)) tree
+  in
+  Alcotest.(check bool) "labels used" true
+    (String.split_on_char '\n' labelled |> List.exists (fun l -> l = "v1"))
+
+(* ------------------------------------------------------------------ *)
+(* Traffic extras: trace codec and temporal workloads                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_roundtrip () =
+  let flows =
+    [
+      Flow.make ~id:0 ~rate:4 ~path:[ 4; 2; 0 ];
+      Flow.make ~id:1 ~rate:2 ~path:[ 5; 2; 1 ];
+      Flow.make ~id:7 ~rate:1 ~path:[ 3 ];
+    ]
+  in
+  match Tdmd_traffic.Trace.of_csv (Tdmd_traffic.Trace.to_csv flows) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    Alcotest.(check int) "count" 3 (List.length parsed);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check int) "id" a.Flow.id b.Flow.id;
+        Alcotest.(check int) "rate" a.Flow.rate b.Flow.rate;
+        Alcotest.(check (array int)) "path" a.Flow.path b.Flow.path)
+      flows parsed
+
+let test_trace_errors () =
+  (match Tdmd_traffic.Trace.of_csv "nope\n1,2,3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header accepted");
+  (match Tdmd_traffic.Trace.of_csv "id,rate,path\n1,x,0-1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad rate accepted");
+  match Tdmd_traffic.Trace.of_csv "id,rate,path\n1,0,0-1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero rate accepted"
+
+let test_trace_file_roundtrip () =
+  let flows = [ Flow.make ~id:3 ~rate:9 ~path:[ 1; 0 ] ] in
+  let path = Filename.temp_file "tdmd_trace" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tdmd_traffic.Trace.save path flows;
+      match Tdmd_traffic.Trace.load path with
+      | Ok [ f ] -> Alcotest.(check int) "rate" 9 f.Flow.rate
+      | Ok _ -> Alcotest.fail "wrong count"
+      | Error e -> Alcotest.fail e)
+
+let test_temporal () =
+  let rng = Rng.create 5 in
+  let timeline =
+    Tdmd_traffic.Temporal.generate rng ~horizon:100.0 ~mean_interarrival:2.0
+      ~mean_lifetime:10.0
+      ~draw_flow:(fun _ id -> Flow.make ~id ~rate:1 ~path:[ 1; 0 ])
+  in
+  Alcotest.(check bool) "events exist" true (timeline <> []);
+  (* Times sorted, ids dense, departures after arrivals. *)
+  let rec sorted = function
+    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 <= t2 && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted timeline);
+  let arrivals = Hashtbl.create 64 in
+  List.iter
+    (fun (t, ev) ->
+      match ev with
+      | Tdmd_traffic.Temporal.Arrival f -> Hashtbl.replace arrivals f.Flow.id t
+      | Departure id ->
+        (match Hashtbl.find_opt arrivals id with
+        | Some t0 ->
+          Alcotest.(check bool) "departure after arrival" true (t >= t0)
+        | None -> Alcotest.fail "departure without arrival"))
+    timeline;
+  (* active_at is consistent with a manual replay. *)
+  let active = Tdmd_traffic.Temporal.active_at timeline 50.0 in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "arrived before t" true
+        (Hashtbl.find arrivals f.Flow.id <= 50.0))
+    active
+
+let suite =
+  [
+    Alcotest.test_case "dp-binary: fig5 agreement" `Quick test_dp_binary_fig5;
+    QCheck_alcotest.to_alcotest prop_dp_binary_matches_general;
+    Alcotest.test_case "dp-binary: rejects wide trees" `Quick
+      test_dp_binary_rejects_wide;
+    QCheck_alcotest.to_alcotest prop_dp_binary_placement_consistent;
+    Alcotest.test_case "local search: improves fig1" `Quick
+      test_local_search_improves_fig1;
+    Alcotest.test_case "local search: rejects infeasible" `Quick
+      test_local_search_rejects_infeasible;
+    QCheck_alcotest.to_alcotest prop_local_search_never_worse;
+    Alcotest.test_case "bounds: fig1 values" `Quick test_bounds_fig1;
+    QCheck_alcotest.to_alcotest prop_bounds_sandwich_solvers;
+    Alcotest.test_case "incremental: arrivals and departures" `Quick
+      test_incremental_basic;
+    Alcotest.test_case "incremental: rejects duplicates" `Quick
+      test_incremental_rejects;
+    QCheck_alcotest.to_alcotest prop_incremental_stays_feasible;
+    Alcotest.test_case "incremental: quality vs scratch GTP" `Quick
+      test_incremental_quality_vs_scratch;
+    QCheck_alcotest.to_alcotest prop_euler_lca_matches;
+    Alcotest.test_case "tree printing" `Quick test_tree_print;
+    Alcotest.test_case "trace: csv roundtrip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace: error handling" `Quick test_trace_errors;
+    Alcotest.test_case "trace: file roundtrip" `Quick test_trace_file_roundtrip;
+    Alcotest.test_case "temporal workload" `Quick test_temporal;
+  ]

@@ -1,0 +1,146 @@
+module G = Tdmd_graph.Digraph
+module Bfs = Tdmd_graph.Bfs
+module Dijkstra = Tdmd_graph.Dijkstra
+module Dsu = Tdmd_graph.Dsu
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let diamond () =
+  (* 0 -> 1 -> 3, 0 -> 2 -> 3, plus a slow direct 0 -> 3. *)
+  let g = G.create 4 in
+  G.add_edge g 0 1;
+  G.add_edge g 1 3;
+  G.add_edge g 0 2;
+  G.add_edge g 2 3;
+  G.add_edge ~weight:5.0 g 0 3;
+  g
+
+let test_digraph_basics () =
+  let g = diamond () in
+  Alcotest.(check int) "vertices" 4 (G.vertex_count g);
+  Alcotest.(check int) "arcs" 5 (G.edge_count g);
+  Alcotest.(check bool) "mem" true (G.mem_edge g 0 1);
+  Alcotest.(check bool) "directed" false (G.mem_edge g 1 0);
+  Alcotest.(check int) "out degree" 3 (G.out_degree g 0);
+  Alcotest.(check int) "in degree" 3 (G.in_degree g 3);
+  Alcotest.(check (list int)) "succ order" [ 1; 2; 3 ] (G.succ g 0);
+  Alcotest.(check (float 0.0)) "weight" 5.0 (G.weight g 0 3)
+
+let test_digraph_rejects () =
+  let g = G.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph.add_edge: self-loop")
+    (fun () -> G.add_edge g 1 1);
+  Alcotest.check_raises "range" (Invalid_argument "Digraph: vertex out of range")
+    (fun () -> G.add_edge g 0 7)
+
+let test_digraph_duplicate_ignored () =
+  let g = G.create 2 in
+  G.add_edge ~weight:1.0 g 0 1;
+  G.add_edge ~weight:9.0 g 0 1;
+  Alcotest.(check int) "one arc" 1 (G.edge_count g);
+  Alcotest.(check (float 0.0)) "first weight wins" 1.0 (G.weight g 0 1)
+
+let test_induced () =
+  let g = diamond () in
+  let sub, mapping = G.induced g [| 0; 1; 3 |] in
+  Alcotest.(check int) "sub vertices" 3 (G.vertex_count sub);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 3 |] mapping;
+  Alcotest.(check bool) "0->1 kept" true (G.mem_edge sub 0 1);
+  Alcotest.(check bool) "1->3 remapped" true (G.mem_edge sub 1 2);
+  Alcotest.(check bool) "0->3 remapped" true (G.mem_edge sub 0 2);
+  Alcotest.(check int) "edge count" 3 (G.edge_count sub)
+
+let test_connectivity () =
+  let g = G.create 4 in
+  G.add_edge g 0 1;
+  G.add_edge g 2 3;
+  Alcotest.(check bool) "disconnected" false (G.is_connected_undirected g);
+  G.add_edge g 3 1;
+  Alcotest.(check bool) "connected ignoring direction" true
+    (G.is_connected_undirected g)
+
+let test_bfs () =
+  let g = diamond () in
+  let d = Bfs.distances g 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 1; 1 |] d;
+  match Bfs.shortest_path g ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "path expected"
+  | Some p ->
+    Alcotest.(check int) "hop-shortest uses direct arc" 2 (List.length p);
+    Alcotest.(check (list (pair int int))) "edges" [ (0, 3) ] (Bfs.path_to_edges p)
+
+let test_bfs_unreachable () =
+  let g = G.create 3 in
+  G.add_edge g 0 1;
+  Alcotest.(check (option (list int))) "unreachable" None
+    (Bfs.shortest_path g ~src:0 ~dst:2);
+  Alcotest.(check int) "max_int distance" max_int (Bfs.distances g 0).(2)
+
+let test_dijkstra () =
+  let g = diamond () in
+  (match Dijkstra.shortest_path g ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "path expected"
+  | Some (p, w) ->
+    (* Weighted shortest avoids the weight-5 direct arc. *)
+    Alcotest.(check (float 0.0)) "weight 2" 2.0 w;
+    Alcotest.(check int) "three vertices" 3 (List.length p));
+  let d = Dijkstra.distances g 0 in
+  Alcotest.(check (float 0.0)) "dist to 3" 2.0 d.(3)
+
+let test_dijkstra_negative_rejected () =
+  let g = G.create 2 in
+  G.add_edge ~weight:(-1.0) g 0 1;
+  Alcotest.check_raises "negative" (Invalid_argument "Dijkstra: negative edge weight")
+    (fun () -> ignore (Dijkstra.distances g 0))
+
+let test_dsu () =
+  let d = Dsu.create 5 in
+  Alcotest.(check int) "classes" 5 (Dsu.count d);
+  Alcotest.(check bool) "union" true (Dsu.union d 0 1);
+  Alcotest.(check bool) "again" false (Dsu.union d 1 0);
+  Alcotest.(check bool) "same" true (Dsu.same d 0 1);
+  Alcotest.(check bool) "different" false (Dsu.same d 0 2);
+  ignore (Dsu.union d 2 3);
+  ignore (Dsu.union d 0 3);
+  Alcotest.(check int) "classes after unions" 2 (Dsu.count d)
+
+(* Property: on unit weights Dijkstra and BFS agree everywhere. *)
+let prop_dijkstra_matches_bfs =
+  QCheck.Test.make ~name:"dijkstra = bfs on unit weights" ~count:100
+    QCheck.(pair (int_range 2 25) (int_bound 1000))
+    (fun (n, seed) ->
+      let rng = Tdmd_prelude.Rng.create seed in
+      let g = Tdmd_topo.Topo_general.erdos_renyi rng n ~p:0.2 in
+      let db = Bfs.distances g 0 in
+      let dd = Dijkstra.distances g 0 in
+      Array.for_all2
+        (fun b d ->
+          if b = max_int then d = infinity else float_of_int b = d)
+        db dd)
+
+let test_to_dot () =
+  let g = G.create 2 in
+  G.add_edge g 0 1;
+  let dot = G.to_dot ~name:"t" g in
+  Alcotest.(check bool) "mentions arc" true (contains dot "0 -> 1")
+
+let suite =
+  [
+    Alcotest.test_case "digraph: basics" `Quick test_digraph_basics;
+    Alcotest.test_case "digraph: rejects" `Quick test_digraph_rejects;
+    Alcotest.test_case "digraph: duplicate arcs ignored" `Quick
+      test_digraph_duplicate_ignored;
+    Alcotest.test_case "digraph: induced subgraph" `Quick test_induced;
+    Alcotest.test_case "digraph: connectivity" `Quick test_connectivity;
+    Alcotest.test_case "bfs: diamond" `Quick test_bfs;
+    Alcotest.test_case "bfs: unreachable" `Quick test_bfs_unreachable;
+    Alcotest.test_case "dijkstra: weighted diamond" `Quick test_dijkstra;
+    Alcotest.test_case "dijkstra: rejects negative weights" `Quick
+      test_dijkstra_negative_rejected;
+    Alcotest.test_case "dsu: union-find" `Quick test_dsu;
+    Alcotest.test_case "digraph: dot export" `Quick test_to_dot;
+    QCheck_alcotest.to_alcotest prop_dijkstra_matches_bfs;
+  ]

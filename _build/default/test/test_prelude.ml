@@ -1,0 +1,155 @@
+open Tdmd_prelude
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  (* The split stream must differ from the parent's continuation. *)
+  let xs = List.init 16 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 16 (fun _ -> Rng.bits64 c) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "int in [0,10)" true (x >= 0 && x < 10);
+    let y = Rng.int_in rng 5 9 in
+    Alcotest.(check bool) "int_in in [5,9]" true (y >= 5 && y <= 9);
+    let f = Rng.float rng 2.5 in
+    Alcotest.(check bool) "float in [0,2.5)" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 50 do
+    let s = Rng.sample_without_replacement rng 20 8 in
+    Alcotest.(check int) "eight drawn" 8 (List.length s);
+    Alcotest.(check int) "distinct" 8 (List.length (List.sort_uniq compare s));
+    List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 20)) s
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_pareto_support () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.pareto rng ~alpha:1.5 ~x_min:4.0 in
+    Alcotest.(check bool) "x >= x_min" true (x >= 4.0)
+  done
+
+let test_welford_matches_naive () =
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  let s = Stats.summarize xs in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.Stats.mean;
+  (* Sample stddev of this classic dataset: sqrt(32/7). *)
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (32.0 /. 7.0)) s.Stats.stddev;
+  Alcotest.(check (float 1e-9)) "min" 2.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 9.0 s.Stats.max;
+  Alcotest.(check int) "n" 8 s.Stats.n
+
+let test_percentile () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile a 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile a 1.0);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.percentile a 0.5)
+
+let test_table_render () =
+  let t = Table.create [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "header present" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "csv" "a,bb\n1,2\n333,\n" csv
+
+let test_table_csv_quoting () =
+  let t = Table.create [ "x" ] in
+  Table.add_row t [ "a,b" ];
+  Table.add_row t [ "say \"hi\"" ];
+  Alcotest.(check string) "quoted" "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n" (Table.to_csv t)
+
+let test_listx () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Listx.range 2 4);
+  Alcotest.(check (list int)) "empty range" [] (Listx.range 3 2);
+  Alcotest.(check int) "frange count" 10
+    (List.length (Listx.frange ~lo:0.0 ~hi:0.9 ~step:0.1));
+  Alcotest.(check int) "max_by" 9 (Listx.max_by float_of_int [ 3; 9; 1 ]);
+  Alcotest.(check int) "min_by" 1 (Listx.min_by float_of_int [ 3; 9; 1 ]);
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list (pair int (list int)))) "group_by"
+    [ (0, [ 2; 4 ]); (1, [ 1; 3 ]) ]
+    (Listx.group_by (fun x -> x mod 2) [ 1; 2; 3; 4 ])
+
+let test_timer () =
+  let x, dt = Timer.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.0)
+
+let test_histogram () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add h) [ 0.5; 1.0; 2.5; 9.9; 15.0; -3.0 ];
+  Alcotest.(check int) "count" 6 (Histogram.count h);
+  (* 15.0 clamps into the last bin, -3.0 into the first. *)
+  Alcotest.(check (array int)) "bins" [| 3; 1; 0; 0; 2 |] (Histogram.bin_counts h);
+  let edges = Histogram.bin_edges h in
+  Alcotest.(check (float 1e-9)) "first lower edge" 0.0 (fst edges.(0));
+  Alcotest.(check (float 1e-9)) "last upper edge" 10.0 (snd edges.(4));
+  Alcotest.(check bool) "renders" true (String.length (Histogram.render h) > 0);
+  Alcotest.check_raises "bad bins"
+    (Invalid_argument "Histogram.create: bins must be positive") (fun () ->
+      ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0))
+
+let test_parallel_map () =
+  let xs = List.init 100 (fun i -> i) in
+  let expected = List.map (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "sequential" expected (Parallel.map (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "2 domains" expected
+    (Parallel.map ~domains:2 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "4 domains keeps order" expected
+    (Parallel.map ~domains:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "more domains than tasks" [ 1; 4 ]
+    (Parallel.map ~domains:8 (fun x -> x * x) [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~domains:4 (fun x -> x) []);
+  Alcotest.(check bool) "recommended >= 1" true (Parallel.recommended_domains () >= 1)
+
+let test_parallel_exceptions () =
+  Alcotest.check_raises "worker exception propagates" (Failure "boom") (fun () ->
+      ignore
+        (Parallel.map ~domains:3
+           (fun x -> if x = 7 then failwith "boom" else x)
+           (List.init 20 (fun i -> i))))
+
+let suite =
+  [
+    Alcotest.test_case "parallel: map" `Quick test_parallel_map;
+    Alcotest.test_case "parallel: exception propagation" `Quick
+      test_parallel_exceptions;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "rng: determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng: sampling w/o replacement" `Quick
+      test_rng_sample_without_replacement;
+    Alcotest.test_case "rng: shuffle is a permutation" `Quick
+      test_rng_shuffle_permutation;
+    Alcotest.test_case "rng: pareto support" `Quick test_pareto_support;
+    Alcotest.test_case "stats: welford summary" `Quick test_welford_matches_naive;
+    Alcotest.test_case "stats: percentile" `Quick test_percentile;
+    Alcotest.test_case "table: render + csv" `Quick test_table_render;
+    Alcotest.test_case "table: csv quoting" `Quick test_table_csv_quoting;
+    Alcotest.test_case "listx helpers" `Quick test_listx;
+    Alcotest.test_case "timer" `Quick test_timer;
+  ]

@@ -1,0 +1,329 @@
+(* Cross-checks between the solvers on random instances: the DP is
+   certified optimal against brute force, the heuristics are bounded by
+   the optimum, and GTP's submodular guarantee (Theorem 3) is verified
+   against the brute-force maximum decrement at equal k. *)
+
+open Tdmd_prelude
+module P = Tdmd.Placement
+
+let volume inst = float_of_int (Tdmd.Instance.total_path_volume inst)
+
+(* ------------------------------------------------------------------ *)
+(* DP vs brute force                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let prop_dp_optimal =
+  QCheck.Test.make ~name:"DP = brute force on random trees" ~count:60
+    QCheck.(triple (int_bound 100000) (int_range 2 11) (int_range 1 4))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_tree_instance rng ~n ~max_rate:4 ~lambda:0.5 in
+      let dp = Tdmd.Dp.solve ~k inst in
+      let brute = Tdmd.Brute.solve ~k (Tdmd.Instance.Tree.to_general inst) in
+      (match (dp.Tdmd.Dp.feasible, brute.Tdmd.Brute.feasible) with
+      | true, true -> Float.abs (dp.Tdmd.Dp.bandwidth -. brute.Tdmd.Brute.bandwidth) < 1e-6
+      | a, b -> a = b))
+
+let prop_dp_placement_consistent =
+  QCheck.Test.make ~name:"DP traceback placement evaluates to the DP value"
+    ~count:60
+    QCheck.(triple (int_bound 100000) (int_range 2 14) (int_range 1 5))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_tree_instance rng ~n ~max_rate:5 ~lambda:0.3 in
+      let dp = Tdmd.Dp.solve ~k inst in
+      (not dp.Tdmd.Dp.feasible)
+      || begin
+           let general = Tdmd.Instance.Tree.to_general inst in
+           P.size dp.Tdmd.Dp.placement <= k
+           && Tdmd.Feasibility.check general dp.Tdmd.Dp.placement
+           && Float.abs
+                (Tdmd.Bandwidth.total general dp.Tdmd.Dp.placement
+                -. dp.Tdmd.Dp.bandwidth)
+              < 1e-6
+         end)
+
+let prop_dp_monotone_in_k =
+  QCheck.Test.make ~name:"DP value is non-increasing in k" ~count:40
+    QCheck.(pair (int_bound 100000) (int_range 3 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_tree_instance rng ~n ~max_rate:4 ~lambda:0.6 in
+      let values =
+        List.map (fun k -> (Tdmd.Dp.solve ~k inst).Tdmd.Dp.bandwidth) [ 1; 2; 3; 4 ]
+      in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a +. 1e-9 >= b && non_increasing rest
+        | _ -> true
+      in
+      non_increasing values)
+
+let test_dp_lambda_extremes () =
+  let rng = Rng.create 41 in
+  let inst0 = Fixtures.random_tree_instance rng ~n:10 ~max_rate:4 ~lambda:0.0 in
+  (* lambda = 1: middleboxes change nothing; every placement costs the
+     full volume. *)
+  let tree = inst0.Tdmd.Instance.Tree.tree in
+  let flows = Array.to_list inst0.Tdmd.Instance.Tree.flows in
+  let inst1 = Tdmd.Instance.Tree.make ~tree ~flows ~lambda:1.0 in
+  let dp1 = Tdmd.Dp.solve ~k:3 inst1 in
+  Alcotest.(check (float 1e-9)) "lambda=1 keeps full volume"
+    (volume (Tdmd.Instance.Tree.to_general inst1))
+    dp1.Tdmd.Dp.bandwidth;
+  (* lambda = 0 with a box on every leaf: zero bandwidth. *)
+  let leaves =
+    List.filter
+      (fun v -> v <> Tdmd_tree.Rooted_tree.root tree)
+      (Tdmd_tree.Rooted_tree.leaves tree)
+  in
+  let dp0 = Tdmd.Dp.solve ~k:(List.length leaves) inst0 in
+  Alcotest.(check (float 1e-9)) "lambda=0, boxes at sources" 0.0 dp0.Tdmd.Dp.bandwidth
+
+let test_dp_k0_infeasible () =
+  let rng = Rng.create 42 in
+  let inst = Fixtures.random_tree_instance rng ~n:8 ~max_rate:3 ~lambda:0.5 in
+  let r = Tdmd.Dp.solve ~k:0 inst in
+  Alcotest.(check bool) "k=0 infeasible" false r.Tdmd.Dp.feasible
+
+let test_dp_single_vertex () =
+  let tree = Tdmd_topo.Topo_tree.path 1 in
+  let inst = Tdmd.Instance.Tree.make ~tree ~flows:[] ~lambda:0.5 in
+  let r = Tdmd.Dp.solve ~k:1 inst in
+  Alcotest.(check bool) "trivially feasible" true r.Tdmd.Dp.feasible;
+  Alcotest.(check (float 0.0)) "zero bandwidth" 0.0 r.Tdmd.Dp.bandwidth
+
+(* ------------------------------------------------------------------ *)
+(* HAT and GTP against the optimum                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_hat_bounded_by_dp =
+  QCheck.Test.make ~name:"DP <= HAT <= unprocessed volume" ~count:60
+    QCheck.(triple (int_bound 100000) (int_range 2 14) (int_range 1 6))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_tree_instance rng ~n ~max_rate:5 ~lambda:0.5 in
+      let dp = Tdmd.Dp.solve ~k inst in
+      let hat = Tdmd.Hat.run ~k inst in
+      hat.Tdmd.Hat.feasible
+      && P.size hat.Tdmd.Hat.placement <= max k 1
+      && dp.Tdmd.Dp.bandwidth <= hat.Tdmd.Hat.bandwidth +. 1e-6
+      && hat.Tdmd.Hat.bandwidth
+         <= volume (Tdmd.Instance.Tree.to_general inst) +. 1e-6)
+
+let prop_gtp_bounded_by_dp_on_trees =
+  QCheck.Test.make ~name:"DP <= GTP on trees; GTP feasible" ~count:60
+    QCheck.(triple (int_bound 100000) (int_range 2 12) (int_range 1 5))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_tree_instance rng ~n ~max_rate:4 ~lambda:0.5 in
+      let general = Tdmd.Instance.Tree.to_general inst in
+      let dp = Tdmd.Dp.solve ~k inst in
+      let gtp = Tdmd.Gtp.run ~budget:k general in
+      (* k >= 1 on a rooted tree is always feasible (box at the root). *)
+      gtp.Tdmd.Gtp.feasible
+      && dp.Tdmd.Dp.bandwidth <= gtp.Tdmd.Gtp.bandwidth +. 1e-6)
+
+let prop_gtp_approximation_ratio =
+  QCheck.Test.make
+    ~name:"theorem 3: GTP decrement >= (1 - 1/e) * optimal decrement" ~count:40
+    QCheck.(triple (int_bound 100000) (int_range 3 10) (int_range 1 3))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_general_instance rng ~n ~flows:n ~max_rate:4 ~lambda:0.5 in
+      (* Theorem 3 is about the pure greedy prefix (no feasibility
+         fix-up): run the submodular greedy directly on the decrement
+         oracle and compare against the exact k-constrained maximum. *)
+      let oracle = Tdmd.Bandwidth.oracle inst in
+      let greedy = Tdmd_submod.Submodular.greedy ~k oracle in
+      let greedy_decrement =
+        Tdmd.Bandwidth.decrement inst (P.of_list greedy.Tdmd_submod.Submodular.chosen)
+      in
+      let best = ref 0.0 in
+      let rec enum start chosen size =
+        let d = Tdmd.Bandwidth.decrement inst (P.of_list chosen) in
+        if d > !best then best := d;
+        if size < k then
+          for v = start to n - 1 do
+            enum (v + 1) (v :: chosen) (size + 1)
+          done
+      in
+      enum 0 [] 0;
+      greedy_decrement >= ((1.0 -. exp (-1.0)) *. !best) -. 1e-6)
+
+let prop_celf_gtp_equal =
+  QCheck.Test.make ~name:"GTP and CELF-GTP produce identical deployments" ~count:40
+    QCheck.(triple (int_bound 100000) (int_range 3 12) (int_range 1 5))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_general_instance rng ~n ~flows:(2 * n) ~max_rate:5 ~lambda:0.4 in
+      let a = Tdmd.Gtp.run ~budget:k inst in
+      let b = Tdmd.Gtp.run_celf ~budget:k inst in
+      (* The oracle is integer-valued, so the two greedy variants agree
+         exactly, not just within float noise. *)
+      P.to_list a.Tdmd.Gtp.placement = P.to_list b.Tdmd.Gtp.placement
+      && b.Tdmd.Gtp.oracle_calls <= a.Tdmd.Gtp.oracle_calls + n)
+
+(* ------------------------------------------------------------------ *)
+(* Baselines                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_baselines_sandwiched =
+  QCheck.Test.make ~name:"baselines lie between optimum and unprocessed volume"
+    ~count:40
+    QCheck.(triple (int_bound 100000) (int_range 2 11) (int_range 1 4))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_tree_instance rng ~n ~max_rate:4 ~lambda:0.5 in
+      let general = Tdmd.Instance.Tree.to_general inst in
+      let opt = (Tdmd.Dp.solve ~k inst).Tdmd.Dp.bandwidth in
+      let rand = Tdmd.Baselines.random rng ~k general in
+      let be = Tdmd.Baselines.best_effort ~k general in
+      let vol = volume general in
+      (* Infeasible plans may undercut the feasible optimum (they skip
+         serving some flows), so the lower bound only applies to
+         feasible ones; the volume upper bound is universal. *)
+      let sandwiched (r : Tdmd.Baselines.report) =
+        r.Tdmd.Baselines.bandwidth <= vol +. 1e-6
+        && ((not r.Tdmd.Baselines.feasible)
+           || opt <= r.Tdmd.Baselines.bandwidth +. 1e-6)
+      in
+      sandwiched rand && sandwiched be)
+
+let test_random_respects_k () =
+  let rng = Rng.create 43 in
+  let inst = Fixtures.fig1_instance () in
+  for k = 2 to 5 do
+    let r = Tdmd.Baselines.random rng ~k inst in
+    Alcotest.(check bool) "size <= k" true (P.size r.Tdmd.Baselines.placement <= k)
+  done
+
+let test_best_effort_deterministic () =
+  let inst = Fixtures.fig1_instance () in
+  let a = Tdmd.Baselines.best_effort ~k:3 inst in
+  let b = Tdmd.Baselines.best_effort ~k:3 inst in
+  Alcotest.(check (list int)) "same plan"
+    (P.to_list a.Tdmd.Baselines.placement)
+    (P.to_list b.Tdmd.Baselines.placement)
+
+let test_gtp_beats_best_effort_eventually () =
+  (* On Fig. 1 with k = 3 the adaptive greedy reaches the optimum 8;
+     non-adaptive best-effort ranks by singleton decrement
+     (v5:4, v3:3, v6:3) and lands on a worse plan. *)
+  let inst = Fixtures.fig1_instance () in
+  let gtp = Tdmd.Gtp.run ~budget:3 inst in
+  let be = Tdmd.Baselines.best_effort ~k:3 inst in
+  Alcotest.(check bool) "gtp <= best-effort" true
+    (gtp.Tdmd.Gtp.bandwidth <= be.Tdmd.Baselines.bandwidth +. 1e-9)
+
+(* GTP's derived k (Alg. 1 run to feasibility) is sandwiched between
+   the exact minimum cover and the ln(n)-greedy bound. *)
+let prop_derived_k_bounds =
+  QCheck.Test.make ~name:"derived k between exact minimum and greedy cover"
+    ~count:30
+    QCheck.(pair (int_bound 100000) (int_range 3 10))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_general_instance rng ~n ~flows:n ~max_rate:4 ~lambda:0.5 in
+      let dk = Tdmd.Gtp.derived_k inst in
+      let exact = Tdmd.Feasibility.min_middleboxes inst in
+      let greedy_size =
+        match Tdmd.Feasibility.greedy_cover inst with
+        | Some c -> P.size c
+        | None -> max_int
+      in
+      (* Alg. 1 favours decrement over coverage, so it can use more
+         boxes than the pure covering greedy, but never fewer than the
+         exact minimum and never more than the vertex count. *)
+      exact <= dk && dk <= n && exact <= greedy_size
+      && Tdmd.Feasibility.check inst
+           (Tdmd.Gtp.run ~budget:dk inst).Tdmd.Gtp.placement)
+
+(* HAT performs exactly |initial leaves| - |final placement| merges. *)
+let prop_hat_merge_count =
+  QCheck.Test.make ~name:"HAT merge count brackets the placement shrinkage" ~count:40
+    QCheck.(triple (int_bound 100000) (int_range 2 16) (int_range 1 8))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_tree_instance rng ~n ~max_rate:4 ~lambda:0.5 in
+      let tree = inst.Tdmd.Instance.Tree.tree in
+      let leaves = List.length (Tdmd_tree.Rooted_tree.leaves tree) in
+      let r = Tdmd.Hat.run ~k inst in
+      let dropped = leaves - P.size r.Tdmd.Hat.placement in
+      (* Each merge removes two boxes and adds their LCA, which may
+         itself already be deployed: the placement shrinks by one or
+         two per merge. *)
+      r.Tdmd.Hat.merges <= dropped
+      && dropped <= 2 * r.Tdmd.Hat.merges
+      && P.size r.Tdmd.Hat.placement <= max k 1)
+
+(* ------------------------------------------------------------------ *)
+(* Extensions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_scaled_dp_theta1_is_dp =
+  QCheck.Test.make ~name:"scaled DP with theta=1 equals DP" ~count:30
+    QCheck.(triple (int_bound 100000) (int_range 2 10) (int_range 1 4))
+    (fun (seed, n, k) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_tree_instance rng ~n ~max_rate:5 ~lambda:0.5 in
+      let dp = Tdmd.Dp.solve ~k inst in
+      let sc = Tdmd.Scaled_dp.solve ~k ~theta:1 inst in
+      Float.abs (dp.Tdmd.Dp.bandwidth -. sc.Tdmd.Scaled_dp.bandwidth) < 1e-6)
+
+let prop_scaled_dp_bounded =
+  QCheck.Test.make ~name:"scaled DP is optimal-bounded and shrinks states"
+    ~count:30
+    QCheck.(pair (int_bound 100000) (int_range 3 10))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst = Fixtures.random_tree_instance rng ~n ~max_rate:12 ~lambda:0.5 in
+      let dp = Tdmd.Dp.solve ~k:3 inst in
+      let sc = Tdmd.Scaled_dp.solve ~k:3 ~theta:4 inst in
+      sc.Tdmd.Scaled_dp.bandwidth +. 1e-6 >= dp.Tdmd.Dp.bandwidth
+      && sc.Tdmd.Scaled_dp.scaled_states <= dp.Tdmd.Dp.states)
+
+let test_capacitated_unlimited_matches_plain () =
+  let inst = Fixtures.fig1_instance () in
+  (* With capacity far above the total rate the capacitated greedy can
+     reach the plain optimum-quality region. *)
+  let cap = Tdmd.Capacitated.greedy ~k:3 ~capacity:1000 inst in
+  Alcotest.(check bool) "feasible" true cap.Tdmd.Capacitated.feasible;
+  Alcotest.(check (float 1e-9)) "reaches optimum" 8.0 cap.Tdmd.Capacitated.bandwidth
+
+let test_capacitated_tight_capacity () =
+  let inst = Fixtures.fig1_instance () in
+  (* Capacity 4 forces f1 (rate 4) to its own box. *)
+  let a = Tdmd.Capacitated.allocate inst ~capacity:4 (P.of_list [ 1; 4 ]) in
+  Alcotest.(check int) "one flow unserved under tight capacity" 1
+    (List.length a.Tdmd.Capacitated.unserved);
+  let wide = Tdmd.Capacitated.allocate inst ~capacity:6 (P.of_list [ 1; 4 ]) in
+  Alcotest.(check int) "looser capacity serves all" 0
+    (List.length wide.Tdmd.Capacitated.unserved)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_dp_optimal;
+    QCheck_alcotest.to_alcotest prop_dp_placement_consistent;
+    QCheck_alcotest.to_alcotest prop_dp_monotone_in_k;
+    Alcotest.test_case "dp: lambda extremes" `Quick test_dp_lambda_extremes;
+    Alcotest.test_case "dp: k=0 infeasible" `Quick test_dp_k0_infeasible;
+    Alcotest.test_case "dp: single-vertex tree" `Quick test_dp_single_vertex;
+    QCheck_alcotest.to_alcotest prop_hat_bounded_by_dp;
+    QCheck_alcotest.to_alcotest prop_gtp_bounded_by_dp_on_trees;
+    QCheck_alcotest.to_alcotest prop_gtp_approximation_ratio;
+    QCheck_alcotest.to_alcotest prop_celf_gtp_equal;
+    QCheck_alcotest.to_alcotest prop_derived_k_bounds;
+    QCheck_alcotest.to_alcotest prop_hat_merge_count;
+    QCheck_alcotest.to_alcotest prop_baselines_sandwiched;
+    Alcotest.test_case "random baseline: respects k" `Quick test_random_respects_k;
+    Alcotest.test_case "best-effort: deterministic" `Quick
+      test_best_effort_deterministic;
+    Alcotest.test_case "gtp beats best-effort on fig1" `Quick
+      test_gtp_beats_best_effort_eventually;
+    QCheck_alcotest.to_alcotest prop_scaled_dp_theta1_is_dp;
+    QCheck_alcotest.to_alcotest prop_scaled_dp_bounded;
+    Alcotest.test_case "capacitated: unlimited = plain" `Quick
+      test_capacitated_unlimited_matches_plain;
+    Alcotest.test_case "capacitated: tight capacity" `Quick
+      test_capacitated_tight_capacity;
+  ]
