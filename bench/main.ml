@@ -6,6 +6,7 @@
      dune exec bench/main.exe fig9       # one figure
      dune exec bench/main.exe fig17
      dune exec bench/main.exe micro
+     dune exec bench/main.exe solvers    # registry sweep -> BENCH_solvers.json
      dune exec bench/main.exe ablation
 
    Absolute values depend on this synthetic substrate (see DESIGN.md §2);
@@ -142,6 +143,87 @@ let micro () =
 
 let ablation () = Report.print_ablation (Experiments.ablation ())
 
+(* ------------------------------------------------------------------ *)
+(* Registry sweep: every solver at its default scenario, JSON-lines    *)
+(* ------------------------------------------------------------------ *)
+
+(* One record per registered solver into BENCH_solvers.json (path
+   overridable with TDMD_BENCH_JSON): wall-clock summary over [reps]
+   runs plus the last run's telemetry.  Solvers that cannot handle the
+   default scenario (e.g. brute's subset cap) yield an error record
+   instead of aborting the sweep. *)
+let solvers_json_path =
+  match Sys.getenv_opt "TDMD_BENCH_JSON" with
+  | Some p -> p
+  | None -> "BENCH_solvers.json"
+
+let solvers () =
+  let open Tdmd_prelude in
+  let rng = Rng.create 4242 in
+  let tree_inst = Scenario.build_tree rng Scenario.default_tree in
+  let general_inst = Scenario.build_general rng Scenario.default_general in
+  let kt = Scenario.default_tree.Scenario.k in
+  let kg = Scenario.default_general.Scenario.k in
+  let oc = open_out solvers_json_path in
+  let sink = Tdmd_obs.Sink.of_channel oc in
+  let summary_json (s : Stats.summary) =
+    Tdmd_obs.Json.Obj
+      [
+        ("mean", Tdmd_obs.Json.Float s.Stats.mean);
+        ("stddev", Tdmd_obs.Json.Float s.Stats.stddev);
+        ("min", Tdmd_obs.Json.Float s.Stats.min);
+        ("max", Tdmd_obs.Json.Float s.Stats.max);
+      ]
+  in
+  let bench_one ~input ~name ~k run =
+    let record =
+      match
+        List.init reps (fun i ->
+            let rng = Rng.create (1000 + i) in
+            Timer.time (fun () -> run ~rng ~k))
+      with
+      | runs ->
+        let seconds = Stats.summarize (List.map snd runs) in
+        let outcome = fst (List.hd (List.rev runs)) in
+        Tdmd_obs.Sink.record ~event:"bench"
+          ~extra:
+            [
+              ("solver", Tdmd_obs.Json.String name);
+              ("input", Tdmd_obs.Json.String input);
+              ("k", Tdmd_obs.Json.Int k);
+              ("reps", Tdmd_obs.Json.Int reps);
+              ("seconds", summary_json seconds);
+              ( "bandwidth",
+                Tdmd_obs.Json.Float outcome.Tdmd.Solver_intf.bandwidth );
+              ( "feasible",
+                Tdmd_obs.Json.Bool outcome.Tdmd.Solver_intf.feasible );
+            ]
+          outcome.Tdmd.Solver_intf.telemetry
+      | exception exn ->
+        Tdmd_obs.Json.Obj
+          [
+            ("event", Tdmd_obs.Json.String "bench-error");
+            ("solver", Tdmd_obs.Json.String name);
+            ("input", Tdmd_obs.Json.String input);
+            ("error", Tdmd_obs.Json.String (Printexc.to_string exn));
+          ]
+    in
+    Tdmd_obs.Sink.emit sink record
+  in
+  List.iter
+    (fun (name, f) ->
+      bench_one ~input:"general" ~name ~k:kg (fun ~rng ~k ->
+          f ~rng ~k general_inst))
+    Tdmd.Solvers.general;
+  List.iter
+    (fun (name, f) ->
+      bench_one ~input:"tree" ~name ~k:kt (fun ~rng ~k -> f ~rng ~k tree_inst))
+    Tdmd.Solvers.tree;
+  close_out oc;
+  Printf.printf "== solver registry sweep ==\n\nwrote %s (%d solvers)\n"
+    solvers_json_path
+    (List.length Tdmd.Solvers.names)
+
 let run_all () =
   List.iter
     (fun (id, f) ->
@@ -152,20 +234,24 @@ let run_all () =
   print_newline ();
   micro ();
   print_newline ();
+  solvers ();
+  print_newline ();
   ablation ()
 
 let () =
   match Sys.argv with
   | [| _ |] -> run_all ()
   | [| _; "micro" |] -> micro ()
+  | [| _; "solvers" |] -> solvers ()
   | [| _; "ablation" |] -> ablation ()
   | [| _; fig |] -> (
     match List.assoc_opt fig line_figures with
     | Some f -> f ()
     | None ->
       Printf.eprintf
-        "unknown target %s (expected fig8..fig17, micro, ablation)\n" fig;
+        "unknown target %s (expected fig8..fig17, micro, solvers, ablation)\n"
+        fig;
       exit 1)
   | _ ->
-    Printf.eprintf "usage: main.exe [fig8..fig17|micro|ablation]\n";
+    Printf.eprintf "usage: main.exe [fig8..fig17|micro|solvers|ablation]\n";
     exit 1

@@ -24,31 +24,18 @@ let topology_conv =
   in
   Arg.conv (parse, print)
 
-type algo = Dp | Hat | Gtp | Celf | Random_a | Best_effort | Brute
-
+(* [--algo] accepts any name in the solver registry; validation happens
+   at parse time so typos fail before an instance is generated. *)
 let algo_conv =
-  let parse = function
-    | "dp" -> Ok Dp
-    | "hat" -> Ok Hat
-    | "gtp" -> Ok Gtp
-    | "celf" -> Ok Celf
-    | "random" -> Ok Random_a
-    | "best-effort" -> Ok Best_effort
-    | "brute" -> Ok Brute
-    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  let parse s =
+    if List.mem s Tdmd.Solvers.names then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown algorithm %S (expected one of: %s)" s
+             (String.concat " | " Tdmd.Solvers.names)))
   in
-  let print ppf a =
-    Format.pp_print_string ppf
-      (match a with
-      | Dp -> "dp"
-      | Hat -> "hat"
-      | Gtp -> "gtp"
-      | Celf -> "celf"
-      | Random_a -> "random"
-      | Best_effort -> "best-effort"
-      | Brute -> "brute")
-  in
-  Arg.conv (parse, print)
+  Arg.conv (parse, Format.pp_print_string)
 
 let topology_arg =
   Arg.(value & opt topology_conv Tree & info [ "topology"; "t" ] ~doc:"tree | general | fattree")
@@ -59,7 +46,22 @@ let lambda_arg = Arg.(value & opt float 0.5 & info [ "lambda" ] ~doc:"Traffic-ch
 let density_arg = Arg.(value & opt float 0.5 & info [ "density" ] ~doc:"Flow density")
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed")
 let algo_arg =
-  Arg.(value & opt algo_conv Gtp & info [ "algo"; "a" ] ~doc:"dp | hat | gtp | celf | random | best-effort | brute")
+  Arg.(
+    value
+    & opt algo_conv "gtp"
+    & info [ "algo"; "a" ] ~doc:(String.concat " | " Tdmd.Solvers.names))
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Print the solver's span tree and telemetry metrics")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Append the run's telemetry as one JSON line to $(docv)")
 
 let build_instances topology ~size ~lambda ~density ~seed =
   let rng = Rng.create seed in
@@ -89,50 +91,63 @@ let build_instances topology ~size ~lambda ~density ~seed =
     in
     (None, Tdmd.Instance.make ~graph:g ~flows ~lambda)
 
-let solve topology size k lambda density seed algo =
+let solve topology size k lambda density seed algo trace metrics_out =
   let tree_inst, general = build_instances topology ~size ~lambda ~density ~seed in
   let volume = float_of_int (Tdmd.Instance.total_path_volume general) in
   Printf.printf "instance: %d vertices, %d flows, unprocessed volume %g\n"
     (Tdmd.Instance.vertex_count general)
     (Tdmd.Instance.flow_count general)
     volume;
-  let requires_tree name =
+  (* Registry dispatch: tree instances resolve tree solvers first and
+     lift general ones; general/fat-tree instances take general solvers
+     only (tree-only algorithms have no meaning there). *)
+  let rng = Rng.create (seed + 1) in
+  let run =
     match tree_inst with
-    | Some t -> t
-    | None ->
-      Printf.eprintf "%s runs on tree topologies only (use --topology tree)\n" name;
-      exit 2
+    | Some t -> (
+      match Tdmd.Solvers.on_tree algo with
+      | Some f -> fun () -> f ~rng ~k t
+      | None -> assert false (* algo_conv validated the name *))
+    | None -> (
+      match Tdmd.Solvers.find_general algo with
+      | Some f -> fun () -> f ~rng ~k general
+      | None ->
+        Printf.eprintf "%s runs on tree topologies only (use --topology tree)\n"
+          algo;
+        exit 2)
   in
-  let (placement, bandwidth, feasible), seconds =
-    Timer.time (fun () ->
-        match algo with
-        | Dp ->
-          let r = Tdmd.Dp.solve ~k (requires_tree "dp") in
-          (r.Tdmd.Dp.placement, r.Tdmd.Dp.bandwidth, r.Tdmd.Dp.feasible)
-        | Hat ->
-          let r = Tdmd.Hat.run ~k (requires_tree "hat") in
-          (r.Tdmd.Hat.placement, r.Tdmd.Hat.bandwidth, r.Tdmd.Hat.feasible)
-        | Gtp ->
-          let r = Tdmd.Gtp.run ~budget:k general in
-          (r.Tdmd.Gtp.placement, r.Tdmd.Gtp.bandwidth, r.Tdmd.Gtp.feasible)
-        | Celf ->
-          let r = Tdmd.Gtp.run_celf ~budget:k general in
-          (r.Tdmd.Gtp.placement, r.Tdmd.Gtp.bandwidth, r.Tdmd.Gtp.feasible)
-        | Random_a ->
-          let r = Tdmd.Baselines.random (Rng.create (seed + 1)) ~k general in
-          (r.Tdmd.Baselines.placement, r.Tdmd.Baselines.bandwidth, r.Tdmd.Baselines.feasible)
-        | Best_effort ->
-          let r = Tdmd.Baselines.best_effort ~k general in
-          (r.Tdmd.Baselines.placement, r.Tdmd.Baselines.bandwidth, r.Tdmd.Baselines.feasible)
-        | Brute ->
-          let r = Tdmd.Brute.solve ~k general in
-          (r.Tdmd.Brute.placement, r.Tdmd.Brute.bandwidth, r.Tdmd.Brute.feasible))
-  in
+  let outcome, seconds = Timer.time run in
+  let { Tdmd.Solver_intf.placement; bandwidth; feasible; telemetry } = outcome in
   Format.printf "placement: %a\n" Tdmd.Placement.pp placement;
   Printf.printf "bandwidth: %g  (%.1f%% of unprocessed)\n" bandwidth
     (100.0 *. bandwidth /. Float.max volume 1.0);
   Printf.printf "feasible:  %b\n" feasible;
-  Printf.printf "time:      %.3f s\n" seconds
+  Printf.printf "time:      %.3f s\n" seconds;
+  if trace then Format.printf "telemetry:@.%a@." Tdmd_obs.Telemetry.pp telemetry;
+  match metrics_out with
+  | None -> ()
+  | Some file ->
+    let oc =
+      try open_out_gen [ Open_append; Open_creat ] 0o644 file
+      with Sys_error msg ->
+        Printf.eprintf "cannot write metrics: %s\n" msg;
+        exit 2
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Tdmd_obs.Sink.emit (Tdmd_obs.Sink.of_channel oc)
+          (Tdmd_obs.Sink.record ~event:"solve"
+             ~extra:
+               [
+                 ("algo", Tdmd_obs.Json.String algo);
+                 ("k", Tdmd_obs.Json.Int k);
+                 ("seed", Tdmd_obs.Json.Int seed);
+                 ("bandwidth", Tdmd_obs.Json.Float bandwidth);
+                 ("feasible", Tdmd_obs.Json.Bool feasible);
+                 ("seconds", Tdmd_obs.Json.Float seconds);
+               ]
+             telemetry))
 
 let figures target =
   let known =
@@ -181,7 +196,7 @@ let solve_cmd =
   let term =
     Term.(
       const solve $ topology_arg $ size_arg $ k_arg $ lambda_arg $ density_arg
-      $ seed_arg $ algo_arg)
+      $ seed_arg $ algo_arg $ trace_arg $ metrics_out_arg)
   in
   Cmd.v (Cmd.info "solve" ~doc:"Generate an instance and place middleboxes") term
 

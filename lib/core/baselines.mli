@@ -18,7 +18,13 @@ type report = {
   placement : Placement.t;
   bandwidth : float;
   feasible : bool;
-  retries : int;  (** Random: infeasible draws discarded; 0 otherwise *)
+  retries : int;
+      (** Random: infeasible draws discarded; 0 otherwise — deprecated
+          alias of the ["retries"] telemetry counter *)
+  telemetry : Tdmd_obs.Telemetry.t;
+      (** counters ["retries"], ["budget"], ["placement_size"] (and
+          ["singleton_evals"] for best-effort); span [random] or
+          [best-effort] *)
 }
 
 val random :

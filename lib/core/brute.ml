@@ -3,6 +3,7 @@ type report = {
   bandwidth : float;
   feasible : bool;
   subsets : int;
+  telemetry : Tdmd_obs.Telemetry.t;
 }
 
 let binomial n k =
@@ -21,6 +22,9 @@ let solve ~k instance =
     sum 0 0
   in
   if total > 10_000_000 then invalid_arg "Brute.solve: instance too large";
+  let tel = Tdmd_obs.Telemetry.create () in
+  Tdmd_obs.Telemetry.count tel "budget" k;
+  Tdmd_obs.Telemetry.span_open tel "brute";
   let best = ref None in
   let count = ref 0 in
   (* Enumerate subsets of size <= k as sorted int lists. *)
@@ -39,13 +43,18 @@ let solve ~k instance =
       done
   in
   enum 0 [] 0;
+  Tdmd_obs.Telemetry.span_close tel;
+  Tdmd_obs.Telemetry.count tel "subsets" !count;
   match !best with
   | Some (placement, bandwidth) ->
-    { placement; bandwidth; feasible = true; subsets = !count }
+    Tdmd_obs.Telemetry.count tel "placement_size" (Placement.size placement);
+    { placement; bandwidth; feasible = true; subsets = !count; telemetry = tel }
   | None ->
+    Tdmd_obs.Telemetry.count tel "placement_size" 0;
     {
       placement = Placement.empty;
       bandwidth = float_of_int (Instance.total_path_volume instance);
       feasible = false;
       subsets = !count;
+      telemetry = tel;
     }

@@ -11,7 +11,12 @@ type report = {
   placement : Placement.t;
   bandwidth : float;
   feasible : bool;  (** false when no subset of size ≤ k serves all flows *)
-  subsets : int;    (** subsets examined *)
+  subsets : int;
+      (** subsets examined — deprecated alias of the ["subsets"]
+          telemetry counter *)
+  telemetry : Tdmd_obs.Telemetry.t;
+      (** counters ["subsets"], ["budget"], ["placement_size"]; span
+          [brute] *)
 }
 
 val solve : k:int -> Instance.t -> report

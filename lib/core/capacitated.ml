@@ -46,11 +46,19 @@ type report = {
   bandwidth : float;
   feasible : bool;
   unserved_flows : int;
+  telemetry : Tdmd_obs.Telemetry.t;
 }
 
 let greedy ~k ~capacity instance =
+  let tel = Tdmd_obs.Telemetry.create () in
+  Tdmd_obs.Telemetry.count tel "budget" k;
+  Tdmd_obs.Telemetry.count tel "capacity" capacity;
+  Tdmd_obs.Telemetry.span_open tel "capacitated";
   let n = Instance.vertex_count instance in
-  let eval p = (allocate instance ~capacity p).bandwidth in
+  let eval p =
+    Tdmd_obs.Telemetry.count tel "allocations" 1;
+    (allocate instance ~capacity p).bandwidth
+  in
   let rec round placement current =
     if Placement.size placement >= k then placement
     else begin
@@ -70,9 +78,13 @@ let greedy ~k ~capacity instance =
   in
   let placement = round Placement.empty (eval Placement.empty) in
   let a = allocate instance ~capacity placement in
+  Tdmd_obs.Telemetry.span_close tel;
+  Tdmd_obs.Telemetry.count tel "unserved_flows" (List.length a.unserved);
+  Tdmd_obs.Telemetry.count tel "placement_size" (Placement.size placement);
   {
     placement;
     bandwidth = a.bandwidth;
     feasible = a.unserved = [];
     unserved_flows = List.length a.unserved;
+    telemetry = tel;
   }

@@ -27,6 +27,10 @@ type report = {
   bandwidth : float;
   feasible : bool;
   unserved_flows : int;
+      (** deprecated alias of the ["unserved_flows"] telemetry counter *)
+  telemetry : Tdmd_obs.Telemetry.t;
+      (** counters ["unserved_flows"], ["allocations"], ["budget"],
+          ["capacity"], ["placement_size"]; span [capacitated] *)
 }
 
 val greedy : k:int -> capacity:int -> Instance.t -> report

@@ -5,6 +5,7 @@ type report = {
   bandwidth : float;
   feasible : bool;
   states : int;
+  telemetry : Tdmd_obs.Telemetry.t;
 }
 
 type tables = {
@@ -187,12 +188,22 @@ let traceback t ~kappa_root =
   Placement.of_list !acc
 
 let solve ~k inst =
-  let t = build ~k_max:k inst in
+  let tel = Tdmd_obs.Telemetry.create () in
+  Tdmd_obs.Telemetry.count tel "budget" k;
+  let finish (r : report) =
+    Tdmd_obs.Telemetry.count tel "states" r.states;
+    Tdmd_obs.Telemetry.count tel "placement_size" (Placement.size r.placement);
+    r
+  in
+  finish
+  @@ Tdmd_obs.Telemetry.with_span tel "dp" (fun () ->
+  let t = Tdmd_obs.Telemetry.with_span tel "build" (fun () -> build ~k_max:k inst) in
   let tree = inst.Instance.Tree.tree in
   let root = Rt.root tree in
   let b_root = t.b_sub.(root) in
   if Array.length inst.Instance.Tree.flows = 0 then
-    { placement = Placement.empty; bandwidth = 0.0; feasible = true; states = t.states }
+    { placement = Placement.empty; bandwidth = 0.0; feasible = true;
+      states = t.states; telemetry = tel }
   else begin
     let best = ref infinity and best_kappa = ref (-1) in
     for kappa = 0 to min k t.k_cap.(root) do
@@ -208,9 +219,14 @@ let solve ~k inst =
         bandwidth = float_of_int (Instance.total_path_volume (Instance.Tree.to_general inst));
         feasible = false;
         states = t.states;
+        telemetry = tel;
       }
     else begin
-      let placement = traceback t ~kappa_root:!best_kappa in
-      { placement; bandwidth = !best; feasible = true; states = t.states }
+      let placement =
+        Tdmd_obs.Telemetry.with_span tel "traceback" (fun () ->
+            traceback t ~kappa_root:!best_kappa)
+      in
+      { placement; bandwidth = !best; feasible = true; states = t.states;
+        telemetry = tel }
     end
-  end
+  end)

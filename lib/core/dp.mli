@@ -27,7 +27,12 @@ type report = {
   placement : Placement.t;
   bandwidth : float;   (** b(P, F) = the DP optimum *)
   feasible : bool;     (** false only when [k = 0] and flows exist *)
-  states : int;        (** DP states materialised (ablation metric) *)
+  states : int;
+      (** DP states materialised (ablation metric) — deprecated alias
+          of the ["states"] telemetry counter *)
+  telemetry : Tdmd_obs.Telemetry.t;
+      (** counters ["states"], ["budget"], ["placement_size"]; spans
+          [dp > build, traceback] *)
 }
 
 val solve : k:int -> Instance.Tree.t -> report

@@ -4,6 +4,7 @@ type report = {
   placement : Placement.t;
   bandwidth : float;
   feasible : bool;
+  telemetry : Tdmd_obs.Telemetry.t;
 }
 
 (* Per-vertex table with the same semantics as Dp: p.(kappa).(b) is the
@@ -23,6 +24,14 @@ type node_table = {
 }
 
 let solve ~k inst =
+  let tel = Tdmd_obs.Telemetry.create () in
+  Tdmd_obs.Telemetry.count tel "budget" k;
+  Tdmd_obs.Telemetry.span_open tel "dp-binary";
+  let finish r =
+    Tdmd_obs.Telemetry.span_close tel;
+    Tdmd_obs.Telemetry.count tel "placement_size" (Placement.size r.placement);
+    r
+  in
   let tree = inst.Instance.Tree.tree in
   let lambda = inst.Instance.Tree.lambda in
   let n = Rt.size tree in
@@ -94,11 +103,14 @@ let solve ~k inst =
               done
           done
         done);
+      Tdmd_obs.Telemetry.count tel "states"
+        (Array.length p * Array.length p.(0));
       tables.(v) <- Some { p; choice })
     (Rt.postorder tree);
   let root = Rt.root tree in
   if Array.length inst.Instance.Tree.flows = 0 then
-    { placement = Placement.empty; bandwidth = 0.0; feasible = true }
+    finish { placement = Placement.empty; bandwidth = 0.0; feasible = true;
+             telemetry = tel }
   else begin
     let b_root = b_sub.(root) in
     let tbl = get_table root in
@@ -110,12 +122,14 @@ let solve ~k inst =
       end
     done;
     if !best_kappa < 0 then
-      {
-        placement = Placement.empty;
-        bandwidth =
-          float_of_int (Instance.total_path_volume (Instance.Tree.to_general inst));
-        feasible = false;
-      }
+      finish
+        {
+          placement = Placement.empty;
+          bandwidth =
+            float_of_int (Instance.total_path_volume (Instance.Tree.to_general inst));
+          feasible = false;
+          telemetry = tel;
+        }
     else begin
       let acc = ref [] in
       let rec assign v kappa b =
@@ -165,6 +179,6 @@ let solve ~k inst =
       in
       assign root !best_kappa b_root;
       let placement = Placement.of_list !acc in
-      { placement; bandwidth = !best; feasible = true }
+      finish { placement; bandwidth = !best; feasible = true; telemetry = tel }
     end
   end

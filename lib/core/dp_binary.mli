@@ -17,6 +17,9 @@ type report = {
   placement : Placement.t;
   bandwidth : float;
   feasible : bool;
+  telemetry : Tdmd_obs.Telemetry.t;
+      (** counters ["states"], ["budget"], ["placement_size"]; span
+          [dp-binary] *)
 }
 
 val solve : k:int -> Instance.Tree.t -> report

@@ -4,37 +4,54 @@ type report = {
   decrement : float;
   feasible : bool;
   oracle_calls : int;
+  telemetry : Tdmd_obs.Telemetry.t;
 }
 
-let report_of instance ~oracle_calls chosen =
+let report_of instance ~oracle_calls ~telemetry chosen =
   let placement = Placement.of_list chosen in
+  Tdmd_obs.Telemetry.count telemetry "oracle_calls" oracle_calls;
+  Tdmd_obs.Telemetry.count telemetry "placement_size" (Placement.size placement);
   {
     placement;
     bandwidth = Bandwidth.total instance placement;
     decrement = Bandwidth.decrement instance placement;
     feasible = Allocation.is_feasible instance placement;
     oracle_calls;
+    telemetry;
   }
 
-let run_with selector ?budget instance =
+let run_with ~label selector ?budget instance =
   let budget =
     match budget with Some k -> k | None -> Instance.vertex_count instance
   in
+  let tel = Tdmd_obs.Telemetry.create () in
+  Tdmd_obs.Telemetry.count tel "budget" budget;
   let oracle = Bandwidth.oracle instance in
   (* Spend the whole budget: the greedy keeps deploying while any vertex
      has positive marginal decrement (bandwidth only improves), and the
      fix-up then covers any still-unserved flows. *)
-  let sel = selector ~stop:(fun _ -> false) ~k:budget oracle in
-  let chosen =
-    Cover_fixup.within instance ~chosen:sel.Tdmd_submod.Submodular.chosen ~budget
-  in
-  report_of instance ~oracle_calls:sel.Tdmd_submod.Submodular.oracle_calls chosen
+  Tdmd_obs.Telemetry.with_span tel label (fun () ->
+      let sel =
+        Tdmd_obs.Telemetry.with_span tel "greedy" (fun () ->
+            selector ~stop:(fun _ -> false) ~k:budget oracle)
+      in
+      let chosen =
+        Tdmd_obs.Telemetry.with_span tel "cover-fixup" (fun () ->
+            Cover_fixup.within instance ~chosen:sel.Tdmd_submod.Submodular.chosen
+              ~budget)
+      in
+      report_of instance ~oracle_calls:sel.Tdmd_submod.Submodular.oracle_calls
+        ~telemetry:tel chosen)
 
 let run ?budget instance =
-  run_with (fun ~stop ~k o -> Tdmd_submod.Submodular.greedy ~stop ~k o) ?budget instance
+  run_with ~label:"gtp"
+    (fun ~stop ~k o -> Tdmd_submod.Submodular.greedy ~stop ~k o)
+    ?budget instance
 
 let run_celf ?budget instance =
-  run_with (fun ~stop ~k o -> Tdmd_submod.Submodular.lazy_greedy ~stop ~k o) ?budget instance
+  run_with ~label:"gtp-celf"
+    (fun ~stop ~k o -> Tdmd_submod.Submodular.lazy_greedy ~stop ~k o)
+    ?budget instance
 
 let derived_k instance =
   (* Alg. 1 verbatim: deploy the max-marginal vertex until every flow is

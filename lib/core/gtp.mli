@@ -15,7 +15,12 @@ type report = {
   bandwidth : float;        (** b(P, F) of the returned deployment *)
   decrement : float;        (** d(P) *)
   feasible : bool;          (** all flows served? *)
-  oracle_calls : int;       (** decrement-oracle evaluations performed *)
+  oracle_calls : int;
+      (** decrement-oracle evaluations performed — deprecated alias of
+          the ["oracle_calls"] telemetry counter *)
+  telemetry : Tdmd_obs.Telemetry.t;
+      (** counters ["oracle_calls"], ["budget"], ["placement_size"];
+          spans [gtp > greedy, cover-fixup] *)
 }
 
 val run : ?budget:int -> Instance.t -> report

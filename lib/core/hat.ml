@@ -5,6 +5,7 @@ type report = {
   bandwidth : float;
   feasible : bool;
   merges : int;
+  telemetry : Tdmd_obs.Telemetry.t;
 }
 
 let merged_placement lca placement i j =
@@ -20,12 +21,18 @@ let delta_b inst placement i j =
   delta_general (Instance.Tree.to_general inst) lca placement i j
 
 let run ~k inst =
+  let tel = Tdmd_obs.Telemetry.create () in
+  Tdmd_obs.Telemetry.count tel "budget" k;
+  Tdmd_obs.Telemetry.span_open tel "hat";
   let tree = inst.Instance.Tree.tree in
   let general = Instance.Tree.to_general inst in
   let lca = Tdmd_tree.Lca.build tree in
   let placement = ref (Placement.of_list (Rt.leaves tree)) in
   let round = ref 0 in
-  let delta p i j = delta_general general lca p i j in
+  let delta p i j =
+    Tdmd_obs.Telemetry.count tel "delta_evals" 1;
+    delta_general general lca p i j
+  in
   (* Heap of (penalty, i, j, round-stamp); ties broken by vertex ids so
      runs are deterministic (and match the paper's k = 2 walkthrough). *)
   let cmp (d1, i1, j1, _) (d2, i2, j2, _) = compare (d1, i1, j1) (d2, i2, j2) in
@@ -73,9 +80,13 @@ let run ~k inst =
       end
   done;
   let placement = !placement in
+  Tdmd_obs.Telemetry.span_close tel;
+  Tdmd_obs.Telemetry.count tel "merges" !merges;
+  Tdmd_obs.Telemetry.count tel "placement_size" (Placement.size placement);
   {
     placement;
     bandwidth = Bandwidth.total general placement;
     feasible = Allocation.is_feasible general placement;
     merges = !merges;
+    telemetry = tel;
   }

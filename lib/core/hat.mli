@@ -19,7 +19,12 @@ type report = {
   placement : Placement.t;
   bandwidth : float;
   feasible : bool;   (** true whenever k ≥ 1 (root merge always exists) *)
-  merges : int;      (** number of merge rounds performed *)
+  merges : int;
+      (** number of merge rounds performed — deprecated alias of the
+          ["merges"] telemetry counter *)
+  telemetry : Tdmd_obs.Telemetry.t;
+      (** counters ["merges"], ["delta_evals"], ["budget"],
+          ["placement_size"]; span [hat] *)
 }
 
 val run : k:int -> Instance.Tree.t -> report

@@ -7,11 +7,14 @@ type t = {
   mutable current : Flow.t list;  (* arrival order *)
   mutable placed : int list;      (* deployment, selection order *)
   mutable moves : int;
+  tel : Tdmd_obs.Telemetry.t;
 }
 
 let create ~graph ~lambda ~k =
   if k < 1 then invalid_arg "Incremental.create: k must be >= 1";
-  { graph; lambda; k; current = []; placed = []; moves = 0 }
+  let tel = Tdmd_obs.Telemetry.create () in
+  Tdmd_obs.Telemetry.count tel "budget" k;
+  { graph; lambda; k; current = []; placed = []; moves = 0; tel }
 
 let instance t =
   Instance.make ~graph:t.graph ~flows:t.current ~lambda:t.lambda
@@ -22,6 +25,7 @@ let flows t = t.current
 let bandwidth t = Bandwidth.total (instance t) (placement t)
 let feasible t = Allocation.is_feasible (instance t) (placement t)
 let moves t = t.moves
+let telemetry t = t.tel
 
 let set_placed t placed =
   let before = Placement.of_list t.placed in
@@ -33,6 +37,7 @@ let set_placed t placed =
     List.length (List.filter (fun v -> not (Placement.mem after v)) (Placement.to_list before))
   in
   t.moves <- t.moves + added + removed;
+  Tdmd_obs.Telemetry.count t.tel "moves" (added + removed);
   t.placed <- placed
 
 let best_marginal inst placed =
@@ -56,6 +61,7 @@ let arrive t f =
   (match Flow.validate t.graph f with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Incremental.arrive: " ^ msg));
+  Tdmd_obs.Telemetry.count t.tel "arrivals" 1;
   t.current <- t.current @ [ f ];
   let inst = instance t in
   if not (Allocation.is_feasible inst (placement t)) then begin
@@ -80,6 +86,7 @@ let arrive t f =
   end
 
 let depart t id =
+  Tdmd_obs.Telemetry.count t.tel "departures" 1;
   t.current <- List.filter (fun f -> f.Flow.id <> id) t.current;
   let inst = instance t in
   (* Boxes that serve nobody are pure waste now. *)

@@ -35,5 +35,10 @@ val feasible : t -> bool
 val moves : t -> int
 (** Total placement changes so far (adds + removals). *)
 
+val telemetry : t -> Tdmd_obs.Telemetry.t
+(** Lifetime telemetry: counters ["moves"], ["arrivals"],
+    ["departures"], ["budget"].  [moves] above is a deprecated alias of
+    the ["moves"] counter. *)
+
 val instance : t -> Instance.t
 (** Current snapshot as a static instance. *)

@@ -3,11 +3,15 @@ type report = {
   bandwidth : float;
   swaps : int;
   evaluations : int;
+  telemetry : Tdmd_obs.Telemetry.t;
 }
 
 let refine ?(max_rounds = 1000) ~k instance placement =
   if not (Allocation.is_feasible instance placement) then
     invalid_arg "Local_search.refine: infeasible starting deployment";
+  let tel = Tdmd_obs.Telemetry.create () in
+  Tdmd_obs.Telemetry.count tel "budget" k;
+  Tdmd_obs.Telemetry.span_open tel "local-search";
   let n = Instance.vertex_count instance in
   let evaluations = ref 0 in
   let score p =
@@ -47,4 +51,8 @@ let refine ?(max_rounds = 1000) ~k instance placement =
   in
   let start_bw = Bandwidth.total instance placement in
   let placement, bandwidth, swaps = round placement start_bw 0 max_rounds in
-  { placement; bandwidth; swaps; evaluations = !evaluations }
+  Tdmd_obs.Telemetry.span_close tel;
+  Tdmd_obs.Telemetry.count tel "swaps" swaps;
+  Tdmd_obs.Telemetry.count tel "evaluations" !evaluations;
+  Tdmd_obs.Telemetry.count tel "placement_size" (Placement.size placement);
+  { placement; bandwidth; swaps; evaluations = !evaluations; telemetry = tel }

@@ -12,7 +12,12 @@ type report = {
   placement : Placement.t;
   bandwidth : float;
   swaps : int;        (** improving moves applied *)
-  evaluations : int;  (** candidate deployments scored *)
+  evaluations : int;
+      (** candidate deployments scored — [swaps] and [evaluations] are
+          deprecated aliases of the same-named telemetry counters *)
+  telemetry : Tdmd_obs.Telemetry.t;
+      (** counters ["swaps"], ["evaluations"], ["budget"],
+          ["placement_size"]; span [local-search] *)
 }
 
 val refine : ?max_rounds:int -> k:int -> Instance.t -> Placement.t -> report

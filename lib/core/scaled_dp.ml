@@ -5,10 +5,14 @@ type report = {
   bandwidth : float;
   scaled_states : int;
   feasible : bool;
+  telemetry : Tdmd_obs.Telemetry.t;
 }
 
 let solve ~k ~theta inst =
   if theta < 1 then invalid_arg "Scaled_dp.solve: theta must be >= 1";
+  let tel = Tdmd_obs.Telemetry.create () in
+  Tdmd_obs.Telemetry.count tel "theta" theta;
+  Tdmd_obs.Telemetry.span_open tel "scaled-dp";
   let scaled_flows =
     Array.to_list inst.Instance.Tree.flows
     |> List.map (fun f ->
@@ -21,9 +25,15 @@ let solve ~k ~theta inst =
   in
   let r = Dp.solve ~k scaled in
   let general = Instance.Tree.to_general inst in
+  Tdmd_obs.Telemetry.span_close tel;
+  (* The inner DP's spans and counters (its "states" are the scaled
+     instance's) nest under this run's record. *)
+  Tdmd_obs.Telemetry.merge ~into:tel r.Dp.telemetry;
+  Tdmd_obs.Telemetry.count tel "scaled_states" r.Dp.states;
   {
     placement = r.Dp.placement;
     bandwidth = Bandwidth.total general r.Dp.placement;
     scaled_states = r.Dp.states;
     feasible = r.Dp.feasible;
+    telemetry = tel;
   }

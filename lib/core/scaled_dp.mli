@@ -13,8 +13,13 @@
 type report = {
   placement : Placement.t;
   bandwidth : float;      (** true-instance bandwidth of the placement *)
-  scaled_states : int;    (** DP states after quantisation *)
+  scaled_states : int;
+      (** DP states after quantisation — deprecated alias of the
+          ["scaled_states"] telemetry counter *)
   feasible : bool;
+  telemetry : Tdmd_obs.Telemetry.t;
+      (** counters ["scaled_states"], ["theta"], plus the inner DP's
+          counters; spans [scaled-dp] then the inner [dp] run *)
 }
 
 val solve : k:int -> theta:int -> Instance.Tree.t -> report

@@ -1,0 +1,41 @@
+(** The unified solver API.
+
+    Every placement algorithm in this library — whatever its internal
+    ablation counters — can be viewed as a function from an instance
+    and a budget to one shared {!outcome}: the deployment, its price,
+    whether every flow is served, and the run's {!Tdmd_obs.Telemetry.t}
+    (where the per-solver counters now live; the per-solver [report]
+    records keep their old fields as deprecated aliases).
+
+    {!Solvers} holds the registry of named implementations; the CLI,
+    the experiment harness and the bench all dispatch through it. *)
+
+type outcome = {
+  placement : Placement.t;
+  bandwidth : float;  (** b(P, F) of the returned deployment *)
+  feasible : bool;    (** all flows served? *)
+  telemetry : Tdmd_obs.Telemetry.t;
+}
+
+val outcome :
+  placement:Placement.t ->
+  bandwidth:float ->
+  feasible:bool ->
+  telemetry:Tdmd_obs.Telemetry.t ->
+  outcome
+
+module type SOLVER = sig
+  type input
+  (** [Instance.t] for general-topology solvers, [Instance.Tree.t] for
+      the Sec. 5 tree solvers. *)
+
+  val name : string
+  (** Registry / [--algo] name. *)
+
+  val solve : rng:Tdmd_prelude.Rng.t -> k:int -> input -> outcome
+  (** Deterministic solvers ignore [rng] (only [random] draws from
+      it); [k] is the middlebox budget. *)
+end
+
+module type GENERAL = SOLVER with type input = Instance.t
+module type TREE = SOLVER with type input = Instance.Tree.t

@@ -1,0 +1,201 @@
+type general_solver =
+  rng:Tdmd_prelude.Rng.t -> k:int -> Instance.t -> Solver_intf.outcome
+
+type tree_solver =
+  rng:Tdmd_prelude.Rng.t -> k:int -> Instance.Tree.t -> Solver_intf.outcome
+
+let outcome = Solver_intf.outcome
+
+module Gtp_solver : Solver_intf.GENERAL = struct
+  type input = Instance.t
+
+  let name = "gtp"
+
+  let solve ~rng:_ ~k inst =
+    let r = Gtp.run ~budget:k inst in
+    outcome ~placement:r.Gtp.placement ~bandwidth:r.Gtp.bandwidth
+      ~feasible:r.Gtp.feasible ~telemetry:r.Gtp.telemetry
+end
+
+module Celf_solver : Solver_intf.GENERAL = struct
+  type input = Instance.t
+
+  let name = "celf"
+
+  let solve ~rng:_ ~k inst =
+    let r = Gtp.run_celf ~budget:k inst in
+    outcome ~placement:r.Gtp.placement ~bandwidth:r.Gtp.bandwidth
+      ~feasible:r.Gtp.feasible ~telemetry:r.Gtp.telemetry
+end
+
+module Best_effort_solver : Solver_intf.GENERAL = struct
+  type input = Instance.t
+
+  let name = "best-effort"
+
+  let solve ~rng:_ ~k inst =
+    let r = Baselines.best_effort ~k inst in
+    outcome ~placement:r.Baselines.placement ~bandwidth:r.Baselines.bandwidth
+      ~feasible:r.Baselines.feasible ~telemetry:r.Baselines.telemetry
+end
+
+module Random_solver : Solver_intf.GENERAL = struct
+  type input = Instance.t
+
+  let name = "random"
+
+  let solve ~rng ~k inst =
+    let r = Baselines.random rng ~k inst in
+    outcome ~placement:r.Baselines.placement ~bandwidth:r.Baselines.bandwidth
+      ~feasible:r.Baselines.feasible ~telemetry:r.Baselines.telemetry
+end
+
+module Brute_solver : Solver_intf.GENERAL = struct
+  type input = Instance.t
+
+  let name = "brute"
+
+  let solve ~rng:_ ~k inst =
+    let r = Brute.solve ~k inst in
+    outcome ~placement:r.Brute.placement ~bandwidth:r.Brute.bandwidth
+      ~feasible:r.Brute.feasible ~telemetry:r.Brute.telemetry
+end
+
+module Gtp_ls_solver : Solver_intf.GENERAL = struct
+  type input = Instance.t
+
+  let name = "gtp-ls"
+
+  (* GTP then the swap-based refinement: never worse than plain GTP.
+     The refinement requires a feasible start, so an infeasible greedy
+     run is returned as-is. *)
+  let solve ~rng:_ ~k inst =
+    let g = Gtp.run ~budget:k inst in
+    if not g.Gtp.feasible then
+      outcome ~placement:g.Gtp.placement ~bandwidth:g.Gtp.bandwidth
+        ~feasible:false ~telemetry:g.Gtp.telemetry
+    else begin
+      let r = Local_search.refine ~k inst g.Gtp.placement in
+      let tel = g.Gtp.telemetry in
+      Tdmd_obs.Telemetry.merge ~into:tel r.Local_search.telemetry;
+      (* [budget] and [placement_size] are run parameters, not work
+         counters: the merge added both phases', so restate them. *)
+      Tdmd_obs.Telemetry.set tel "budget" (Tdmd_obs.Telemetry.Int k);
+      Tdmd_obs.Telemetry.set tel "placement_size"
+        (Tdmd_obs.Telemetry.Int (Placement.size r.Local_search.placement));
+      outcome ~placement:r.Local_search.placement
+        ~bandwidth:r.Local_search.bandwidth ~feasible:true ~telemetry:tel
+    end
+end
+
+module Incremental_solver : Solver_intf.GENERAL = struct
+  type input = Instance.t
+
+  let name = "incremental"
+
+  (* One-shot view of the churn maintainer: replay the instance's flows
+     as an arrival sequence and keep the final deployment.  Mirrors how
+     an operator would reach this static snapshot online. *)
+  let solve ~rng:_ ~k inst =
+    let state =
+      Incremental.create ~graph:inst.Instance.graph
+        ~lambda:inst.Instance.lambda ~k:(max k 1)
+    in
+    Tdmd_obs.Telemetry.with_span
+      (Incremental.telemetry state)
+      "incremental-replay"
+      (fun () -> Array.iter (Incremental.arrive state) inst.Instance.flows);
+    outcome
+      ~placement:(Incremental.placement state)
+      ~bandwidth:(Incremental.bandwidth state)
+      ~feasible:(Incremental.feasible state)
+      ~telemetry:(Incremental.telemetry state)
+end
+
+module Dp_solver : Solver_intf.TREE = struct
+  type input = Instance.Tree.t
+
+  let name = "dp"
+
+  let solve ~rng:_ ~k inst =
+    let r = Dp.solve ~k inst in
+    outcome ~placement:r.Dp.placement ~bandwidth:r.Dp.bandwidth
+      ~feasible:r.Dp.feasible ~telemetry:r.Dp.telemetry
+end
+
+module Dp_binary_solver : Solver_intf.TREE = struct
+  type input = Instance.Tree.t
+
+  let name = "dp-binary"
+
+  let solve ~rng:_ ~k inst =
+    let r = Dp_binary.solve ~k inst in
+    outcome ~placement:r.Dp_binary.placement ~bandwidth:r.Dp_binary.bandwidth
+      ~feasible:r.Dp_binary.feasible ~telemetry:r.Dp_binary.telemetry
+end
+
+module Hat_solver : Solver_intf.TREE = struct
+  type input = Instance.Tree.t
+
+  let name = "hat"
+
+  let solve ~rng:_ ~k inst =
+    let r = Hat.run ~k inst in
+    outcome ~placement:r.Hat.placement ~bandwidth:r.Hat.bandwidth
+      ~feasible:r.Hat.feasible ~telemetry:r.Hat.telemetry
+end
+
+module Scaled_dp_solver : Solver_intf.TREE = struct
+  type input = Instance.Tree.t
+
+  let name = "scaled-dp"
+
+  (* theta = 4 matches the ablation bench's operating point. *)
+  let solve ~rng:_ ~k inst =
+    let r = Scaled_dp.solve ~k ~theta:4 inst in
+    outcome ~placement:r.Scaled_dp.placement ~bandwidth:r.Scaled_dp.bandwidth
+      ~feasible:r.Scaled_dp.feasible ~telemetry:r.Scaled_dp.telemetry
+end
+
+let general_modules : (module Solver_intf.GENERAL) list =
+  [
+    (module Gtp_solver);
+    (module Celf_solver);
+    (module Best_effort_solver);
+    (module Random_solver);
+    (module Brute_solver);
+    (module Gtp_ls_solver);
+    (module Incremental_solver);
+  ]
+
+let tree_modules : (module Solver_intf.TREE) list =
+  [
+    (module Dp_solver);
+    (module Dp_binary_solver);
+    (module Hat_solver);
+    (module Scaled_dp_solver);
+  ]
+
+let general : (string * general_solver) list =
+  List.map
+    (fun (module S : Solver_intf.GENERAL) ->
+      (S.name, fun ~rng ~k inst -> S.solve ~rng ~k inst))
+    general_modules
+
+let tree : (string * tree_solver) list =
+  List.map
+    (fun (module S : Solver_intf.TREE) ->
+      (S.name, fun ~rng ~k inst -> S.solve ~rng ~k inst))
+    tree_modules
+
+let find_general name = List.assoc_opt name general
+let find_tree name = List.assoc_opt name tree
+
+let on_tree name =
+  match find_tree name with
+  | Some f -> Some f
+  | None ->
+    find_general name
+    |> Option.map (fun f ~rng ~k inst -> f ~rng ~k (Instance.Tree.to_general inst))
+
+let names = List.map fst general @ List.map fst tree

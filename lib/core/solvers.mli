@@ -1,0 +1,48 @@
+(** First-class solver registry.
+
+    Central list of every placement algorithm reachable by name, split
+    by the input it needs.  [bin/tdmd_cli.ml]'s [--algo] dispatch,
+    [Tdmd_sim.Experiments]'s algorithm lists and the bench's solver
+    sweep all resolve through this table — adding a solver here makes
+    it reachable everywhere at once.
+
+    General solvers ({!general}):
+    - ["gtp"]          — paper Alg. 1 greedy ({!Gtp.run})
+    - ["celf"]         — lazy-greedy GTP ({!Gtp.run_celf})
+    - ["best-effort"]  — non-adaptive singleton ranking ({!Baselines})
+    - ["random"]       — feasibility-retrying random placement
+    - ["brute"]        — exhaustive optimum (small instances only)
+    - ["gtp-ls"]       — GTP followed by {!Local_search.refine}
+    - ["incremental"]  — {!Incremental} maintenance, replaying the
+                         instance's flows as an arrival sequence
+
+    Tree solvers ({!tree}):
+    - ["dp"]           — optimal tree DP (Sec. 5.1)
+    - ["dp-binary"]    — Eqs. 7–10 transcription (binary trees only)
+    - ["hat"]          — leaf-merge heuristic (Alg. 2)
+    - ["scaled-dp"]    — rate-quantised DP at θ = 4 *)
+
+type general_solver =
+  rng:Tdmd_prelude.Rng.t -> k:int -> Instance.t -> Solver_intf.outcome
+
+type tree_solver =
+  rng:Tdmd_prelude.Rng.t -> k:int -> Instance.Tree.t -> Solver_intf.outcome
+
+val general : (string * general_solver) list
+val tree : (string * tree_solver) list
+
+val general_modules : (module Solver_intf.GENERAL) list
+val tree_modules : (module Solver_intf.TREE) list
+(** The same solvers as first-class {!Solver_intf.SOLVER} modules. *)
+
+val find_general : string -> general_solver option
+val find_tree : string -> tree_solver option
+
+val on_tree : string -> tree_solver option
+(** Resolve a name against the tree registry first, then lift a
+    general solver through {!Instance.Tree.to_general} — every
+    registered solver can score a tree instance. *)
+
+val names : string list
+(** All registry names: tree-only solvers last, as in [--algo]'s
+    documentation. *)

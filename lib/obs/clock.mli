@@ -1,0 +1,11 @@
+(** Monotonic clock, nanosecond resolution.
+
+    Spans must not jump backwards with NTP adjustments, so telemetry
+    timing uses CLOCK_MONOTONIC (via the bechamel stub already in the
+    dependency set) rather than [Unix.gettimeofday]. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an unspecified monotonic origin. *)
+
+val ns_to_s : int64 -> float
+(** Convenience conversion for reports. *)

@@ -1,0 +1,292 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr x =
+  if Float.is_nan x || Float.abs x = infinity then "null"
+  else begin
+    (* Shortest representation that still round-trips the double; keep a
+       decimal point so floats stay floats when parsed back. *)
+    let s = Printf.sprintf "%.12g" x in
+    let s = if float_of_string s = x then s else Printf.sprintf "%.17g" x in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  end
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> Buffer.add_string buf (float_repr x)
+  | String s -> escape buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        emit buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  emit buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (recursive descent)                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  if
+    c.pos + String.length word <= String.length c.s
+    && String.sub c.s c.pos (String.length word) = word
+  then begin
+    c.pos <- c.pos + String.length word;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let utf8_of_code buf code =
+  (* Codepoint to UTF-8; surrogates were combined by the caller. *)
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex4 c =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    let d =
+      match peek c with
+      | Some ('0' .. '9' as ch) -> Char.code ch - Char.code '0'
+      | Some ('a' .. 'f' as ch) -> Char.code ch - Char.code 'a' + 10
+      | Some ('A' .. 'F' as ch) -> Char.code ch - Char.code 'A' + 10
+      | _ -> fail c "expected hex digit"
+    in
+    advance c;
+    v := (!v * 16) + d
+  done;
+  !v
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char buf '"'; advance c
+      | Some '\\' -> Buffer.add_char buf '\\'; advance c
+      | Some '/' -> Buffer.add_char buf '/'; advance c
+      | Some 'n' -> Buffer.add_char buf '\n'; advance c
+      | Some 't' -> Buffer.add_char buf '\t'; advance c
+      | Some 'r' -> Buffer.add_char buf '\r'; advance c
+      | Some 'b' -> Buffer.add_char buf '\b'; advance c
+      | Some 'f' -> Buffer.add_char buf '\012'; advance c
+      | Some 'u' ->
+        advance c;
+        let hi = hex4 c in
+        let code =
+          if hi >= 0xD800 && hi <= 0xDBFF then begin
+            expect c '\\';
+            expect c 'u';
+            let lo = hex4 c in
+            0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)
+          end
+          else hi
+        in
+        utf8_of_code buf code
+      | _ -> fail c "bad escape");
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance c;
+      go ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub c.s start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some x -> Float x
+    | None -> fail c "bad number"
+  else begin
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt text with
+      | Some x -> Float x
+      | None -> fail c "bad number")
+  end
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> fail c "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields (kv :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev (kv :: acc)
+        | _ -> fail c "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+let of_string s =
+  let c = { s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos = String.length s then Ok v else Error "trailing garbage"
+  | exception Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float x -> Some x
+  | _ -> None

@@ -1,0 +1,30 @@
+(** Minimal JSON tree: enough for telemetry records and their tests.
+
+    The container images this project targets carry no JSON library, so
+    the sink carries its own emitter and a small parser (used by the
+    round-trip tests and any tooling that reads the JSON-lines files
+    back).  Emission is deterministic: object fields keep insertion
+    order, floats print with enough digits to round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines — JSON-lines safe).
+    Non-finite floats render as [null]. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing whitespace allowed.  Numbers without
+    [.], [e] or [E] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_float : t -> float option
+(** Numeric coercion of [Int] and [Float]. *)

@@ -1,0 +1,117 @@
+type value = Int of int | Float of float | Bool of bool | String of string
+
+type span = {
+  label : string;
+  start_ns : int64;
+  dur_ns : int64;
+  children : span list;
+}
+
+type open_span = {
+  olabel : string;
+  ostart : int64;
+  mutable ochildren : span list;  (* reversed *)
+}
+
+type t = {
+  table : (string, value) Hashtbl.t;
+  mutable order : string list;  (* reversed first-write order *)
+  mutable roots : span list;    (* reversed *)
+  mutable stack : open_span list;  (* innermost first *)
+}
+
+let create () =
+  { table = Hashtbl.create 16; order = []; roots = []; stack = [] }
+
+let set t name v =
+  if not (Hashtbl.mem t.table name) then t.order <- name :: t.order;
+  Hashtbl.replace t.table name v
+
+let find t name = Hashtbl.find_opt t.table name
+
+let count t name n =
+  match find t name with
+  | None -> set t name (Int n)
+  | Some (Int prev) -> Hashtbl.replace t.table name (Int (prev + n))
+  | Some _ -> invalid_arg ("Telemetry.count: " ^ name ^ " is not a counter")
+
+let get_count t name =
+  match find t name with Some (Int n) -> n | _ -> 0
+
+let gauge t name x = set t name (Float x)
+
+let metrics t =
+  List.rev_map (fun name -> (name, Hashtbl.find t.table name)) t.order
+
+let span_open t label =
+  t.stack <- { olabel = label; ostart = Clock.now_ns (); ochildren = [] } :: t.stack
+
+let span_close t =
+  match t.stack with
+  | [] -> invalid_arg "Telemetry.span_close: no open span"
+  | top :: rest ->
+    let span =
+      {
+        label = top.olabel;
+        start_ns = top.ostart;
+        dur_ns = Int64.sub (Clock.now_ns ()) top.ostart;
+        children = List.rev top.ochildren;
+      }
+    in
+    t.stack <- rest;
+    (match rest with
+    | parent :: _ -> parent.ochildren <- span :: parent.ochildren
+    | [] -> t.roots <- span :: t.roots)
+
+let with_span t label f =
+  span_open t label;
+  Fun.protect ~finally:(fun () -> span_close t) f
+
+let spans t = List.rev t.roots
+
+let merge ~into src =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Int n -> count into name n
+      | v -> set into name v)
+    (metrics src);
+  List.iter (fun s -> into.roots <- s :: into.roots) (spans src)
+
+let json_of_value = function
+  | Int n -> Json.Int n
+  | Float x -> Json.Float x
+  | Bool b -> Json.Bool b
+  | String s -> Json.String s
+
+let rec json_of_span s =
+  Json.Obj
+    [
+      ("label", Json.String s.label);
+      ("dur_ns", Json.Int (Int64.to_int s.dur_ns));
+      ("children", Json.List (List.map json_of_span s.children));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("metrics", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) (metrics t)));
+      ("spans", Json.List (List.map json_of_span (spans t)));
+    ]
+
+let pp_value ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Float x -> Format.fprintf ppf "%g" x
+  | Bool b -> Format.pp_print_bool ppf b
+  | String s -> Format.pp_print_string ppf s
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-24s %a@\n" name pp_value v)
+    (metrics t);
+  let rec pp_span indent s =
+    Format.fprintf ppf "%s%s %.3f ms@\n" indent s.label
+      (Int64.to_float s.dur_ns /. 1e6);
+    List.iter (pp_span (indent ^ "  ")) s.children
+  in
+  List.iter (pp_span "") (spans t)

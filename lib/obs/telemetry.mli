@@ -1,0 +1,77 @@
+(** Per-run solver telemetry (the observability record every solver
+    returns).
+
+    One [t] collects three kinds of signal for a single solver run:
+
+    - {b spans}: nestable monotonic-clock timers with labels, recorded
+      as a forest in completion order — where the time went;
+    - {b counters}: monotonically accumulated integers (oracle calls,
+      DP states, merge rounds, …) — how much work was done;
+    - {b gauges / values}: last-write-wins key–value metrics (budget,
+      theta, placement size, …) — the run's parameters and outputs.
+
+    All metrics share one key space; counters are [Int]-valued and
+    gauges [Float]-valued by convention.  A [t] is cheap to create and
+    carries no global state, so solvers allocate one per run and the
+    harness aggregates them. *)
+
+type value = Int of int | Float of float | Bool of bool | String of string
+
+type span = {
+  label : string;
+  start_ns : int64;  (** monotonic, relative to an unspecified origin *)
+  dur_ns : int64;
+  children : span list;  (** in start order *)
+}
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters and gauges} *)
+
+val count : t -> string -> int -> unit
+(** [count t name n] adds [n] to counter [name] (created at 0).
+    @raise Invalid_argument if [name] holds a non-[Int] value. *)
+
+val get_count : t -> string -> int
+(** Current counter total; 0 when absent. *)
+
+val gauge : t -> string -> float -> unit
+(** Set gauge [name] (last write wins). *)
+
+val set : t -> string -> value -> unit
+(** Set an arbitrary key–value metric (last write wins). *)
+
+val find : t -> string -> value option
+val metrics : t -> (string * value) list
+(** All metrics in first-write order. *)
+
+(** {1 Spans} *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Time [f] under a span nested in the innermost open span; the span
+    is closed even if [f] raises. *)
+
+val span_open : t -> string -> unit
+val span_close : t -> unit
+(** Manual variants for non-lexical lifetimes.
+    @raise Invalid_argument when no span is open. *)
+
+val spans : t -> span list
+(** Completed root spans, in start order.  Open spans are invisible
+    until closed. *)
+
+(** {1 Aggregation and output} *)
+
+val merge : into:t -> t -> unit
+(** Fold a sub-run into an enclosing run: counters add, other metrics
+    overwrite, completed root spans append. *)
+
+val to_json : t -> Json.t
+(** [{"metrics": {...}, "spans": [...]}] with spans as
+    [{"label", "dur_ns", "children"}] trees. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering: one metric per line, then the span tree
+    with millisecond durations (the CLI's [--trace] output). *)

@@ -12,83 +12,53 @@ type result = {
   series : series list;
 }
 
-(* An algorithm entry: name + how to run it on a freshly built instance.
-   Tree experiments run all five algorithms (Sec. 6.3); general
-   experiments run Random / Best-effort / GTP (Sec. 6.4). *)
+(* An algorithm entry: figure label + registry name, resolved through
+   the shared solver registry (Tdmd.Solvers) so the experiments, CLI
+   and bench all dispatch the same implementations.  Tree experiments
+   run all five algorithms (Sec. 6.3); general experiments run
+   Random / Best-effort / GTP (Sec. 6.4). *)
+
+let resolve_tree name =
+  match Tdmd.Solvers.on_tree name with
+  | Some f -> f
+  | None -> invalid_arg ("Experiments: unknown tree solver " ^ name)
+
+let resolve_general name =
+  match Tdmd.Solvers.find_general name with
+  | Some f -> f
+  | None -> invalid_arg ("Experiments: unknown general solver " ^ name)
 
 type tree_algo = {
   t_name : string;
-  t_run : Rng.t -> k:int -> Tdmd.Instance.Tree.t -> float * bool;
+  t_run : Rng.t -> k:int -> Tdmd.Instance.Tree.t -> Tdmd.Solver_intf.outcome;
 }
 
 type general_algo = {
   g_name : string;
-  g_run : Rng.t -> k:int -> Tdmd.Instance.t -> float * bool;
+  g_run : Rng.t -> k:int -> Tdmd.Instance.t -> Tdmd.Solver_intf.outcome;
 }
 
+let tree_algo (t_name, registry_name) =
+  let f = resolve_tree registry_name in
+  { t_name; t_run = (fun rng ~k inst -> f ~rng ~k inst) }
+
+let general_algo (g_name, registry_name) =
+  let f = resolve_general registry_name in
+  { g_name; g_run = (fun rng ~k inst -> f ~rng ~k inst) }
+
 let tree_algos : tree_algo list =
-  [
-    {
-      t_name = "Random";
-      t_run =
-        (fun rng ~k inst ->
-          let r = Tdmd.Baselines.random rng ~k (Tdmd.Instance.Tree.to_general inst) in
-          (r.Tdmd.Baselines.bandwidth, r.Tdmd.Baselines.feasible));
-    };
-    {
-      t_name = "Best-effort";
-      t_run =
-        (fun _ ~k inst ->
-          let r = Tdmd.Baselines.best_effort ~k (Tdmd.Instance.Tree.to_general inst) in
-          (r.Tdmd.Baselines.bandwidth, r.Tdmd.Baselines.feasible));
-    };
-    {
-      t_name = "GTP";
-      t_run =
-        (fun _ ~k inst ->
-          let r = Tdmd.Gtp.run ~budget:k (Tdmd.Instance.Tree.to_general inst) in
-          (r.Tdmd.Gtp.bandwidth, r.Tdmd.Gtp.feasible));
-    };
-    {
-      t_name = "HAT";
-      t_run =
-        (fun _ ~k inst ->
-          let r = Tdmd.Hat.run ~k inst in
-          (r.Tdmd.Hat.bandwidth, r.Tdmd.Hat.feasible));
-    };
-    {
-      t_name = "DP";
-      t_run =
-        (fun _ ~k inst ->
-          let r = Tdmd.Dp.solve ~k inst in
-          (r.Tdmd.Dp.bandwidth, r.Tdmd.Dp.feasible));
-    };
-  ]
+  List.map tree_algo
+    [
+      ("Random", "random");
+      ("Best-effort", "best-effort");
+      ("GTP", "gtp");
+      ("HAT", "hat");
+      ("DP", "dp");
+    ]
 
 let general_algos : general_algo list =
-  [
-    {
-      g_name = "Random";
-      g_run =
-        (fun rng ~k inst ->
-          let r = Tdmd.Baselines.random rng ~k inst in
-          (r.Tdmd.Baselines.bandwidth, r.Tdmd.Baselines.feasible));
-    };
-    {
-      g_name = "Best-effort";
-      g_run =
-        (fun _ ~k inst ->
-          let r = Tdmd.Baselines.best_effort ~k inst in
-          (r.Tdmd.Baselines.bandwidth, r.Tdmd.Baselines.feasible));
-    };
-    {
-      g_name = "GTP";
-      g_run =
-        (fun _ ~k inst ->
-          let r = Tdmd.Gtp.run ~budget:k inst in
-          (r.Tdmd.Gtp.bandwidth, r.Tdmd.Gtp.feasible));
-    };
-  ]
+  List.map general_algo
+    [ ("Random", "random"); ("Best-effort", "best-effort"); ("GTP", "gtp") ]
 
 (* Sweep drivers: [configure] maps a sweep value to the scenario and
    budget at that point.  Every algorithm scores the same instance draws
@@ -114,7 +84,7 @@ let joint_sweep ~seed ~reps ~xs ~configure ~build ~names ~runs =
                (fun (name, run) ->
                  ( name,
                    fun inst rng ->
-                     Runner.measure (fun () -> run rng ~k inst) (fun r -> r) ))
+                     Runner.measure_outcome (fun () -> run rng ~k inst) ))
                runs))
       xs
   in

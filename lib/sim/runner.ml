@@ -4,6 +4,7 @@ type observation = {
   bandwidth : float;
   seconds : float;
   feasible : bool;
+  telemetry : Tdmd_obs.Telemetry.t;
 }
 
 type point = {
@@ -11,7 +12,51 @@ type point = {
   bandwidth : Stats.summary;
   seconds : Stats.summary;
   infeasible_runs : int;
+  metrics : (string * Stats.summary) list;
 }
+
+(* Numeric telemetry metrics of a batch of observations, summarised per
+   key in first-seen order (string/bool metrics are not aggregable). *)
+let metric_summaries obs =
+  let order = ref [] in
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (o : observation) ->
+      List.iter
+        (fun (name, v) ->
+          let x =
+            match v with
+            | Tdmd_obs.Telemetry.Int n -> Some (float_of_int n)
+            | Tdmd_obs.Telemetry.Float x -> Some x
+            | _ -> None
+          in
+          match x with
+          | None -> ()
+          | Some x ->
+            let w =
+              match Hashtbl.find_opt table name with
+              | Some w -> w
+              | None ->
+                let w = Stats.Welford.create () in
+                Hashtbl.add table name w;
+                order := name :: !order;
+                w
+            in
+            Stats.Welford.add w x)
+        (Tdmd_obs.Telemetry.metrics o.telemetry))
+    obs;
+  List.rev_map
+    (fun name ->
+      let w = Hashtbl.find table name in
+      ( name,
+        {
+          Stats.n = Stats.Welford.count w;
+          mean = Stats.Welford.mean w;
+          stddev = Stats.Welford.stddev w;
+          min = Stats.Welford.min w;
+          max = Stats.Welford.max w;
+        } ))
+    !order
 
 let repeat ~seed ~reps f ~x =
   let master = Rng.create seed in
@@ -29,12 +74,22 @@ let repeat ~seed ~reps f ~x =
     bandwidth = Stats.summarize (List.map (fun (o : observation) -> o.bandwidth) summaries);
     seconds = Stats.summarize (List.map (fun (o : observation) -> o.seconds) summaries);
     infeasible_runs = List.length obs - List.length feasible;
+    metrics = metric_summaries summaries;
   }
 
 let measure run extract =
   let result, seconds = Timer.time run in
   let bandwidth, feasible = extract result in
-  { bandwidth; seconds; feasible }
+  { bandwidth; seconds; feasible; telemetry = Tdmd_obs.Telemetry.create () }
+
+let measure_outcome run =
+  let outcome, seconds = Timer.time run in
+  {
+    bandwidth = outcome.Tdmd.Solver_intf.bandwidth;
+    seconds;
+    feasible = outcome.Tdmd.Solver_intf.feasible;
+    telemetry = outcome.Tdmd.Solver_intf.telemetry;
+  }
 
 type joint_point = {
   jx : float;
@@ -64,6 +119,7 @@ let joint ~domains ~seed ~reps ~x ~build ~algos =
   let acc =
     List.map (fun (name, _) -> (name, Stats.Welford.create (), Stats.Welford.create ())) algos
   in
+  let observations = Hashtbl.create 8 in
   let infeasible = Hashtbl.create 8 in
   let redraws = ref 0 in
   List.iter
@@ -74,6 +130,8 @@ let joint ~domains ~seed ~reps ~x ~build ~algos =
           assert (name = name');
           Stats.Welford.add bw o.bandwidth;
           Stats.Welford.add sec o.seconds;
+          Hashtbl.replace observations name
+            (o :: Option.value ~default:[] (Hashtbl.find_opt observations name));
           if not o.feasible then
             Hashtbl.replace infeasible name
               (1 + Option.value ~default:0 (Hashtbl.find_opt infeasible name)))
@@ -100,6 +158,9 @@ let joint ~domains ~seed ~reps ~x ~build ~algos =
               seconds = summary sec;
               infeasible_runs =
                 Option.value ~default:0 (Hashtbl.find_opt infeasible name);
+              metrics =
+                metric_summaries
+                  (Option.value ~default:[] (Hashtbl.find_opt observations name));
             } ))
         acc;
     redraws = !redraws;

@@ -1,11 +1,14 @@
 (** Repetition runner: the paper runs every sweep point several times
     and plots mean with error bars for both metrics (bandwidth and
-    wall-clock execution time). *)
+    wall-clock execution time).  Each observation also carries the
+    run's {!Tdmd_obs.Telemetry.t}, and points summarise the numeric
+    telemetry metrics next to the two headline ones. *)
 
 type observation = {
   bandwidth : float;
   seconds : float;
   feasible : bool;
+  telemetry : Tdmd_obs.Telemetry.t;
 }
 
 type point = {
@@ -13,6 +16,9 @@ type point = {
   bandwidth : Tdmd_prelude.Stats.summary; (** over feasible repetitions *)
   seconds : Tdmd_prelude.Stats.summary;
   infeasible_runs : int;                  (** dropped repetitions *)
+  metrics : (string * Tdmd_prelude.Stats.summary) list;
+      (** numeric telemetry metrics (counters and gauges) summarised
+          over the same repetitions, in first-seen order *)
 }
 
 val repeat :
@@ -24,7 +30,11 @@ val repeat :
 
 val measure : (unit -> 'a) -> ('a -> float * bool) -> observation
 (** [measure run extract] times [run ()] and extracts
-    (bandwidth, feasible) from its result. *)
+    (bandwidth, feasible) from its result; the telemetry is empty. *)
+
+val measure_outcome : (unit -> Tdmd.Solver_intf.outcome) -> observation
+(** Like {!measure} for registry solvers: bandwidth, feasibility and
+    telemetry all come from the shared outcome. *)
 
 type joint_point = {
   jx : float;

@@ -12,7 +12,9 @@ let () =
       ("setcover", Test_setcover.suite);
       ("submodular", Test_submod.suite);
       ("model", Test_model.suite);
+      ("obs", Test_obs.suite);
       ("solvers", Test_solvers.suite);
+      ("registry", Test_registry.suite);
       ("paper-examples", Test_paper_examples.suite);
       ("extensions", Test_extensions.suite);
       ("netsim-chain", Test_netsim_chain.suite);

@@ -1,0 +1,137 @@
+(* Tdmd_obs: telemetry spans/counters, JSON round-trips and the
+   JSON-lines sink. *)
+
+module Tel = Tdmd_obs.Telemetry
+module Json = Tdmd_obs.Json
+module Sink = Tdmd_obs.Sink
+
+let test_counters () =
+  let tel = Tel.create () in
+  Alcotest.(check int) "absent counter is 0" 0 (Tel.get_count tel "x");
+  Tel.count tel "x" 3;
+  Tel.count tel "x" 4;
+  Alcotest.(check int) "counters accumulate" 7 (Tel.get_count tel "x");
+  Tel.gauge tel "g" 1.5;
+  Tel.gauge tel "g" 2.5;
+  Alcotest.(check bool) "gauge last write wins" true
+    (Tel.find tel "g" = Some (Tel.Float 2.5));
+  Alcotest.(check bool) "metrics keep first-write order" true
+    (List.map fst (Tel.metrics tel) = [ "x"; "g" ]);
+  Alcotest.check_raises "count on a gauge rejected"
+    (Invalid_argument "Telemetry.count: g is not a counter") (fun () ->
+      Tel.count tel "g" 1)
+
+let test_span_nesting () =
+  let tel = Tel.create () in
+  Tel.with_span tel "outer" (fun () ->
+      Tel.with_span tel "first" (fun () -> Tel.count tel "work" 1);
+      Tel.with_span tel "second" ignore);
+  Tel.with_span tel "later" ignore;
+  match Tel.spans tel with
+  | [ outer; later ] ->
+    Alcotest.(check string) "root label" "outer" outer.Tel.label;
+    Alcotest.(check string) "second root" "later" later.Tel.label;
+    Alcotest.(check (list string)) "children in start order" [ "first"; "second" ]
+      (List.map (fun s -> s.Tel.label) outer.Tel.children);
+    let child_total =
+      List.fold_left
+        (fun acc s -> Int64.add acc s.Tel.dur_ns)
+        0L outer.Tel.children
+    in
+    Alcotest.(check bool) "parent spans its children" true
+      (outer.Tel.dur_ns >= child_total)
+  | spans -> Alcotest.failf "expected 2 root spans, got %d" (List.length spans)
+
+let test_span_closes_on_raise () =
+  let tel = Tel.create () in
+  (try Tel.with_span tel "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "span closed despite raise" 1 (List.length (Tel.spans tel));
+  Alcotest.check_raises "close without open rejected"
+    (Invalid_argument "Telemetry.span_close: no open span") (fun () ->
+      Tel.span_close tel)
+
+let test_merge () =
+  let a = Tel.create () and b = Tel.create () in
+  Tel.count a "calls" 2;
+  Tel.gauge a "theta" 4.0;
+  Tel.with_span a "a-root" ignore;
+  Tel.count b "calls" 5;
+  Tel.count b "extra" 1;
+  Tel.gauge b "theta" 8.0;
+  Tel.with_span b "b-root" ignore;
+  Tel.merge ~into:a b;
+  Alcotest.(check int) "counters add" 7 (Tel.get_count a "calls");
+  Alcotest.(check int) "new counters appear" 1 (Tel.get_count a "extra");
+  Alcotest.(check bool) "gauges overwrite" true
+    (Tel.find a "theta" = Some (Tel.Float 8.0));
+  Alcotest.(check (list string)) "spans append" [ "a-root"; "b-root" ]
+    (List.map (fun s -> s.Tel.label) (Tel.spans a))
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("i", Json.Int 42);
+        ("f", Json.Float 1.5);
+        ("whole", Json.Float 3.0);
+        ("s", Json.String "quote \" slash \\ newline \n");
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Float (-2.5) ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok v' ->
+    Alcotest.(check bool) "emit/parse round-trip" true (v = v');
+    Alcotest.(check bool) "whole floats stay floats" true
+      (Json.member "whole" v' = Some (Json.Float 3.0))
+
+let test_sink_jsonl () =
+  let tel = Tel.create () in
+  Tel.count tel "oracle_calls" 9;
+  Tel.with_span tel "solve" (fun () -> Tel.with_span tel "inner" ignore);
+  let buf = Buffer.create 256 in
+  let sink = Sink.of_buffer buf in
+  Sink.emit sink (Sink.record ~event:"run" ~extra:[ ("k", Json.Int 3) ] tel);
+  Sink.emit sink (Sink.record ~event:"run" tel);
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one record per line" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "invalid JSON line %S: %s" line e
+      | Ok record ->
+        Alcotest.(check bool) "event field" true
+          (Json.member "event" record = Some (Json.String "run"));
+        let metrics =
+          Option.bind (Json.member "telemetry" record) (Json.member "metrics")
+        in
+        Alcotest.(check bool) "counter survives" true
+          (Option.bind metrics (Json.member "oracle_calls") = Some (Json.Int 9));
+        let spans =
+          Option.bind (Json.member "telemetry" record) (Json.member "spans")
+        in
+        (match spans with
+        | Some (Json.List [ root ]) ->
+          Alcotest.(check bool) "span label" true
+            (Json.member "label" root = Some (Json.String "solve"));
+          (match Json.member "children" root with
+          | Some (Json.List [ _ ]) -> ()
+          | _ -> Alcotest.fail "expected one child span")
+        | _ -> Alcotest.fail "expected one root span"))
+    lines
+
+let suite =
+  [
+    Alcotest.test_case "telemetry: counters and gauges" `Quick test_counters;
+    Alcotest.test_case "telemetry: span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "telemetry: span closes on raise" `Quick
+      test_span_closes_on_raise;
+    Alcotest.test_case "telemetry: merge" `Quick test_merge;
+    Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "sink: JSON-lines records" `Quick test_sink_jsonl;
+  ]

@@ -1,0 +1,105 @@
+(* Solver registry: every registered solver must produce a feasible,
+   correctly-priced outcome on the paper's worked examples, and the
+   outcome telemetry must agree with the solvers' own report fields. *)
+
+open Tdmd_prelude
+module Solvers = Tdmd.Solvers
+module Tel = Tdmd_obs.Telemetry
+
+let check_priced name inst (o : Tdmd.Solver_intf.outcome) =
+  Alcotest.(check bool) (name ^ " feasible") true o.Tdmd.Solver_intf.feasible;
+  Alcotest.(check (float 1e-9)) (name ^ " bandwidth matches its placement")
+    (Tdmd.Bandwidth.total inst o.Tdmd.Solver_intf.placement)
+    o.Tdmd.Solver_intf.bandwidth
+
+let test_general_solvers () =
+  let inst = Fixtures.fig1_instance () in
+  List.iter
+    (fun (name, solve) ->
+      let o = solve ~rng:(Rng.create 7) ~k:3 inst in
+      check_priced name inst o)
+    Solvers.general;
+  (* Fig. 1 worked optimum at k = 3 is 8: brute must hit it and the
+     greedy must match on this instance (Tab. 2's trace). *)
+  let bw name =
+    let solve = Option.get (Solvers.find_general name) in
+    (solve ~rng:(Rng.create 7) ~k:3 inst).Tdmd.Solver_intf.bandwidth
+  in
+  Alcotest.(check (float 1e-9)) "brute optimum" 8.0 (bw "brute");
+  Alcotest.(check (float 1e-9)) "gtp matches the worked example" 8.0 (bw "gtp");
+  Alcotest.(check (float 1e-9)) "celf = gtp" (bw "gtp") (bw "celf")
+
+let test_tree_solvers () =
+  (* Fig. 5 is binary, so even dp-binary runs on it. *)
+  let inst = Fixtures.fig5_instance () in
+  let general = Tdmd.Instance.Tree.to_general inst in
+  List.iter
+    (fun (name, solve) ->
+      let o = solve ~rng:(Rng.create 7) ~k:2 inst in
+      check_priced name general o)
+    Solvers.tree;
+  let bw name =
+    let solve = Option.get (Solvers.find_tree name) in
+    (solve ~rng:(Rng.create 7) ~k:2 inst).Tdmd.Solver_intf.bandwidth
+  in
+  Alcotest.(check (float 1e-9)) "dp-binary = dp" (bw "dp") (bw "dp-binary");
+  Alcotest.(check bool) "dp optimal vs hat" true (bw "dp" <= bw "hat" +. 1e-9)
+
+let test_on_tree_lifts_general () =
+  let inst = Fixtures.fig5_instance () in
+  let lifted = Option.get (Solvers.on_tree "gtp") in
+  let o = lifted ~rng:(Rng.create 7) ~k:2 inst in
+  let direct = Tdmd.Gtp.run ~budget:2 (Tdmd.Instance.Tree.to_general inst) in
+  Alcotest.(check (float 1e-9)) "lifted gtp = direct gtp"
+    direct.Tdmd.Gtp.bandwidth o.Tdmd.Solver_intf.bandwidth;
+  Alcotest.(check bool) "tree-only name not in general table" true
+    (Solvers.find_general "dp" = None);
+  Alcotest.(check bool) "unknown name rejected" true (Solvers.on_tree "nope" = None)
+
+let test_telemetry_matches_reports () =
+  let inst = Fixtures.fig1_instance () in
+  let run name =
+    let solve = Option.get (Solvers.find_general name) in
+    solve ~rng:(Rng.create 7) ~k:3 inst
+  in
+  let gtp = Tdmd.Gtp.run ~budget:3 inst in
+  Alcotest.(check int) "gtp oracle_calls counter = report field"
+    gtp.Tdmd.Gtp.oracle_calls
+    (Tel.get_count (run "gtp").Tdmd.Solver_intf.telemetry "oracle_calls");
+  let celf = Tdmd.Gtp.run_celf ~budget:3 inst in
+  Alcotest.(check int) "celf oracle_calls counter = report field"
+    celf.Tdmd.Gtp.oracle_calls
+    (Tel.get_count (run "celf").Tdmd.Solver_intf.telemetry "oracle_calls");
+  Alcotest.(check bool) "celf lazily skips oracle calls" true
+    (celf.Tdmd.Gtp.oracle_calls <= gtp.Tdmd.Gtp.oracle_calls);
+  (* Every solver run leaves at least one closed span behind. *)
+  List.iter
+    (fun (name, solve) ->
+      let o = solve ~rng:(Rng.create 7) ~k:3 inst in
+      Alcotest.(check bool) (name ^ " recorded a span") true
+        (Tel.spans o.Tdmd.Solver_intf.telemetry <> []))
+    Solvers.general
+
+let test_names_unique () =
+  let names = Solvers.names in
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "no duplicate names" (List.length names)
+    (List.length sorted);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " resolves on trees") true
+        (Solvers.on_tree name <> None))
+    names
+
+let suite =
+  [
+    Alcotest.test_case "registry: general solvers on fig1" `Quick
+      test_general_solvers;
+    Alcotest.test_case "registry: tree solvers on fig5" `Quick test_tree_solvers;
+    Alcotest.test_case "registry: on_tree lifts general solvers" `Quick
+      test_on_tree_lifts_general;
+    Alcotest.test_case "registry: telemetry matches report fields" `Quick
+      test_telemetry_matches_reports;
+    Alcotest.test_case "registry: names unique and tree-resolvable" `Quick
+      test_names_unique;
+  ]

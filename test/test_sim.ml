@@ -41,7 +41,12 @@ let test_runner_repeat () =
     Runner.repeat ~seed:1 ~reps:5 ~x:2.0 (fun rng ->
         incr calls;
         let v = Rng.float rng 1.0 in
-        { Runner.bandwidth = 10.0 +. v; seconds = 0.001; feasible = true })
+        {
+          Runner.bandwidth = 10.0 +. v;
+          seconds = 0.001;
+          feasible = true;
+          telemetry = Tdmd_obs.Telemetry.create ();
+        })
   in
   Alcotest.(check int) "five runs" 5 !calls;
   Alcotest.(check int) "five observations" 5 point.Runner.bandwidth.Stats.n;
@@ -57,7 +62,12 @@ let test_runner_drops_infeasible () =
     Runner.repeat ~seed:1 ~reps:6 ~x:0.0 (fun _ ->
         incr n;
         let feasible = !n mod 2 = 0 in
-        { Runner.bandwidth = (if feasible then 5.0 else 99.0); seconds = 0.0; feasible })
+        {
+          Runner.bandwidth = (if feasible then 5.0 else 99.0);
+          seconds = 0.0;
+          feasible;
+          telemetry = Tdmd_obs.Telemetry.create ();
+        })
   in
   Alcotest.(check int) "three dropped" 3 point.Runner.infeasible_runs;
   Alcotest.(check (float 1e-9)) "mean over feasible only" 5.0
