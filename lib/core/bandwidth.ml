@@ -41,9 +41,25 @@ let max_decrement instance =
    unchanged, and integer-valued floats make every greedy comparison
    exact — submodularity then holds bit-for-bit, which the CELF lazy
    evaluation's "cached gains are upper bounds" invariant needs. *)
+let oracle_naive instance =
+  Tdmd_submod.Submodular.make
+    ~ground:(Instance.vertex_count instance)
+    ~value:(fun vs -> float_of_int (diminished_volume instance (Placement.of_list vs)))
+    ()
+
+(* Same λ-free integer objective, with marginals answered by the
+   incremental index in O(flows through v).  Both interfaces stay exact
+   integers in float, so greedy/CELF selections agree bit-for-bit with
+   the naive path (differential-tested in test_inc_oracle). *)
 let oracle instance =
-  {
-    Tdmd_submod.Submodular.ground = Instance.vertex_count instance;
-    value =
-      (fun vs -> float_of_int (diminished_volume instance (Placement.of_list vs)));
-  }
+  let t = Inc_oracle.create instance in
+  Tdmd_submod.Submodular.make
+    ~ground:(Instance.vertex_count instance)
+    ~value:(fun vs -> float_of_int (diminished_volume instance (Placement.of_list vs)))
+    ~incremental:
+      {
+        Tdmd_submod.Submodular.restart = (fun () -> Inc_oracle.reset t);
+        gain = (fun v -> float_of_int (Inc_oracle.marginal_volume t v));
+        commit = (fun v -> Inc_oracle.add t v);
+      }
+    ()

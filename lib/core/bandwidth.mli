@@ -48,4 +48,12 @@ val oracle : Instance.t -> Tdmd_submod.Submodular.oracle
     (ground set = vertices).  Returns the λ-independent
     {!diminished_volume} as a float: the positive (1−λ) scaling cannot
     change any argmax, and integer-valued floats keep greedy and CELF
-    comparisons exact (no rounding-induced submodularity violations). *)
+    comparisons exact (no rounding-induced submodularity violations).
+    Carries the {!Inc_oracle}-backed incremental interface, so
+    [Submodular.greedy]/[lazy_greedy] answer each marginal in
+    O(flows through v) instead of rescanning every flow. *)
+
+val oracle_naive : Instance.t -> Tdmd_submod.Submodular.oracle
+(** Same objective without the incremental interface — every query is a
+    from-scratch scan.  Kept as the reference side of the differential
+    tests and the [bench oracle] baseline. *)

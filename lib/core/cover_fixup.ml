@@ -1,42 +1,78 @@
-let best_cover_vertex instance chosen unserved =
-  let n = Instance.vertex_count instance in
+(* Cover counting shared by both entry points: tally, for every vertex,
+   how many of the given unserved flows pass through it (paths have no
+   repeated vertices, so one increment per flow), zero out excluded
+   vertices, and take the argmax with lowest-vertex tie-breaking — the
+   same selection rule as the former quadratic List.mem/List.filter
+   formulation. *)
+let best_covering ~n ~excluded counts =
   let best = ref (-1) and best_cover = ref 0 in
   for v = 0 to n - 1 do
-    if not (List.mem v chosen) then begin
-      let c =
-        List.length (List.filter (fun f -> Tdmd_flow.Flow.mem_vertex f v) unserved)
-      in
-      if c > !best_cover then begin
-        best := v;
-        best_cover := c
-      end
+    if (not (excluded v)) && counts.(v) > !best_cover then begin
+      best := v;
+      best_cover := counts.(v)
     end
   done;
   if !best < 0 then None else Some !best
 
+let best_cover_vertex instance chosen unserved =
+  let n = Instance.vertex_count instance in
+  let counts = Array.make n 0 in
+  List.iter
+    (fun f ->
+      Array.iter (fun v -> counts.(v) <- counts.(v) + 1) f.Tdmd_flow.Flow.path)
+    unserved;
+  let excluded = Array.make n false in
+  List.iter (fun v -> if v >= 0 && v < n then excluded.(v) <- true) chosen;
+  best_covering ~n ~excluded:(fun v -> excluded.(v)) counts
+
 let within instance ~chosen ~budget =
-  let feasible vs = Allocation.unserved instance (Placement.of_list vs) = [] in
-  let rec extend vs =
-    if feasible vs || List.length vs >= budget then vs
-    else begin
-      match
-        best_cover_vertex instance vs
-          (Allocation.unserved instance (Placement.of_list vs))
-      with
-      | None -> vs
-      | Some v -> extend (vs @ [ v ])
-    end
+  let n = Instance.vertex_count instance in
+  let flows = instance.Instance.flows in
+  let chosen = Array.of_list chosen in
+  let t = Inc_oracle.create instance in
+  let counts = Array.make n 0 in
+  (* Candidate for a kept prefix: the prefix (first occurrences, in
+     order) plus greedy covering picks driven by the oracle's unserved
+     tracking.  Afterwards [t] reflects the candidate, so the caller
+     reads feasibility straight off it. *)
+  let extend kept_len =
+    Inc_oracle.reset t;
+    let prefix = ref [] in
+    for i = 0 to kept_len - 1 do
+      let v = chosen.(i) in
+      if not (Inc_oracle.mem t v) then begin
+        Inc_oracle.add t v;
+        prefix := v :: !prefix
+      end
+    done;
+    let ext = ref [] in
+    let exhausted = ref false in
+    while
+      (not !exhausted)
+      && (not (Inc_oracle.is_feasible t))
+      && Inc_oracle.size t < budget
+    do
+      Array.fill counts 0 n 0;
+      Inc_oracle.iter_unserved t (fun fi ->
+          Array.iter
+            (fun v -> counts.(v) <- counts.(v) + 1)
+            flows.(fi).Tdmd_flow.Flow.path);
+      match best_covering ~n ~excluded:(Inc_oracle.mem t) counts with
+      | None -> exhausted := true
+      | Some v ->
+        Inc_oracle.add t v;
+        ext := v :: !ext
+    done;
+    List.rev_append !prefix (List.rev !ext)
   in
   (* Keep ever-shorter prefixes (dropping the lowest-value picks first)
      until covering picks fit in the budget. *)
-  let rec attempt kept fallback =
-    let candidate = extend kept in
+  let rec attempt kept_len fallback =
+    let candidate = extend kept_len in
+    let feasible = Inc_oracle.is_feasible t in
     let fallback = match fallback with Some f -> Some f | None -> Some candidate in
-    if feasible candidate then candidate
-    else begin
-      match List.rev kept with
-      | [] -> (match fallback with Some f -> f | None -> candidate)
-      | _ :: rest_rev -> attempt (List.rev rest_rev) fallback
-    end
+    if feasible then candidate
+    else if kept_len = 0 then (match fallback with Some f -> f | None -> candidate)
+    else attempt (kept_len - 1) fallback
   in
-  attempt chosen None
+  attempt (Array.length chosen) None

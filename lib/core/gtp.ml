@@ -20,38 +20,72 @@ let report_of instance ~oracle_calls ~telemetry chosen =
     telemetry;
   }
 
-let run_with ~label selector ?budget instance =
+(* Wrap every oracle evaluation (from-scratch values and incremental
+   marginals alike) with a "delta_evals" counter and a nanosecond
+   accumulator; [flush] publishes the total as "oracle_ns" once the run
+   completes, so the bench can attribute wall-clock to the oracle. *)
+let instrument tel oracle =
+  let ns = ref 0L in
+  let timed f x =
+    Tdmd_obs.Telemetry.count tel "delta_evals" 1;
+    let t0 = Tdmd_obs.Clock.now_ns () in
+    let r = f x in
+    ns := Int64.add !ns (Int64.sub (Tdmd_obs.Clock.now_ns ()) t0);
+    r
+  in
+  let oracle =
+    {
+      oracle with
+      Tdmd_submod.Submodular.value = timed oracle.Tdmd_submod.Submodular.value;
+      incremental =
+        Option.map
+          (fun inc ->
+            { inc with Tdmd_submod.Submodular.gain = timed inc.Tdmd_submod.Submodular.gain })
+          oracle.Tdmd_submod.Submodular.incremental;
+    }
+  in
+  (oracle, fun () -> Tdmd_obs.Telemetry.count tel "oracle_ns" (Int64.to_int !ns))
+
+let run_with ~label selector ?budget ?(incremental = true) instance =
   let budget =
     match budget with Some k -> k | None -> Instance.vertex_count instance
   in
   let tel = Tdmd_obs.Telemetry.create () in
   Tdmd_obs.Telemetry.count tel "budget" budget;
-  let oracle = Bandwidth.oracle instance in
+  let oracle =
+    if incremental then Bandwidth.oracle instance
+    else Bandwidth.oracle_naive instance
+  in
+  let oracle, flush_oracle_ns = instrument tel oracle in
   (* Spend the whole budget: the greedy keeps deploying while any vertex
      has positive marginal decrement (bandwidth only improves), and the
      fix-up then covers any still-unserved flows. *)
-  Tdmd_obs.Telemetry.with_span tel label (fun () ->
-      let sel =
-        Tdmd_obs.Telemetry.with_span tel "greedy" (fun () ->
-            selector ~stop:(fun _ -> false) ~k:budget oracle)
-      in
-      let chosen =
-        Tdmd_obs.Telemetry.with_span tel "cover-fixup" (fun () ->
-            Cover_fixup.within instance ~chosen:sel.Tdmd_submod.Submodular.chosen
-              ~budget)
-      in
-      report_of instance ~oracle_calls:sel.Tdmd_submod.Submodular.oracle_calls
-        ~telemetry:tel chosen)
+  let report =
+    Tdmd_obs.Telemetry.with_span tel label (fun () ->
+        let sel =
+          Tdmd_obs.Telemetry.with_span tel "greedy" (fun () ->
+              selector ~stop:(fun _ -> false) ~k:budget oracle)
+        in
+        let chosen =
+          Tdmd_obs.Telemetry.with_span tel "cover-fixup" (fun () ->
+              Cover_fixup.within instance ~chosen:sel.Tdmd_submod.Submodular.chosen
+                ~budget)
+        in
+        report_of instance ~oracle_calls:sel.Tdmd_submod.Submodular.oracle_calls
+          ~telemetry:tel chosen)
+  in
+  flush_oracle_ns ();
+  report
 
-let run ?budget instance =
+let run ?budget ?incremental instance =
   run_with ~label:"gtp"
     (fun ~stop ~k o -> Tdmd_submod.Submodular.greedy ~stop ~k o)
-    ?budget instance
+    ?budget ?incremental instance
 
-let run_celf ?budget instance =
+let run_celf ?budget ?incremental instance =
   run_with ~label:"gtp-celf"
     (fun ~stop ~k o -> Tdmd_submod.Submodular.lazy_greedy ~stop ~k o)
-    ?budget instance
+    ?budget ?incremental instance
 
 let derived_k instance =
   (* Alg. 1 verbatim: deploy the max-marginal vertex until every flow is

@@ -19,14 +19,18 @@ type report = {
       (** decrement-oracle evaluations performed — deprecated alias of
           the ["oracle_calls"] telemetry counter *)
   telemetry : Tdmd_obs.Telemetry.t;
-      (** counters ["oracle_calls"], ["budget"], ["placement_size"];
-          spans [gtp > greedy, cover-fixup] *)
+      (** counters ["oracle_calls"], ["delta_evals"], ["oracle_ns"]
+          (nanoseconds spent inside oracle evaluations), ["budget"],
+          ["placement_size"]; spans [gtp > greedy, cover-fixup] *)
 }
 
-val run : ?budget:int -> Instance.t -> report
-(** Plain greedy, exactly Alg. 1.  Default budget: |V|. *)
+val run : ?budget:int -> ?incremental:bool -> Instance.t -> report
+(** Plain greedy, exactly Alg. 1.  Default budget: |V|.  [incremental]
+    (default [true]) selects the {!Inc_oracle}-backed marginal oracle;
+    [false] forces the from-scratch scan — same deployment bit-for-bit
+    (differential-tested), kept for benchmarking and as the reference. *)
 
-val run_celf : ?budget:int -> Instance.t -> report
+val run_celf : ?budget:int -> ?incremental:bool -> Instance.t -> report
 (** Lazy-greedy (CELF) acceleration — same deployment as {!run} (the
     ablation bench verifies this and counts saved oracle calls). *)
 

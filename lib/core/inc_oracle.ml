@@ -1,0 +1,177 @@
+module Flow = Tdmd_flow.Flow
+
+(* All bookkeeping lives in integer diminished-volume space (see
+   bandwidth.ml): serving flow f at path position l contributes
+   r_f · (hops_f − l) diminished edge-units, and the (1−λ) scaling is
+   applied only at the float boundary, so every incremental answer is an
+   integer-valued float that agrees bit-for-bit with a from-scratch
+   Bandwidth.diminished_volume scan. *)
+
+type op = Added of int | Removed of int | Untouched
+
+type t = {
+  flows : Flow.t array;
+  one_minus_lambda : float;
+  total_volume : int;            (* Σ_f r_f · hops_f *)
+  index : (int * int) array array;  (* vertex -> (flow index, path position) *)
+  placed : Bytes.t;              (* vertex -> deployed? *)
+  pos_placed : Bytes.t array;    (* flow -> deployed bitmap over path positions *)
+  first : int array;             (* flow -> serving position; path length = unserved *)
+  mutable dim_volume : int;      (* Σ served r_f · (hops_f − first_f) *)
+  mutable unserved : int;
+  mutable placed_count : int;
+  mutable log : op list;         (* most recent first, for undo *)
+}
+
+(* Diminished edge-units of one flow served at position [l] (l = hops is
+   the destination: zero diminished edges; l > hops means unserved). *)
+let contrib rate hops l = if l > hops then 0 else rate * (hops - l)
+
+let create instance =
+  let n = Instance.vertex_count instance in
+  let flows = instance.Instance.flows in
+  let counts = Array.make n 0 in
+  Array.iter
+    (fun f -> Array.iter (fun v -> counts.(v) <- counts.(v) + 1) f.Flow.path)
+    flows;
+  let index = Array.init n (fun v -> Array.make counts.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun fi f ->
+      Array.iteri
+        (fun pos v ->
+          index.(v).(fill.(v)) <- (fi, pos);
+          fill.(v) <- fill.(v) + 1)
+        f.Flow.path)
+    flows;
+  {
+    flows;
+    one_minus_lambda = 1.0 -. instance.Instance.lambda;
+    total_volume = Instance.total_path_volume instance;
+    index;
+    placed = Bytes.make n '\000';
+    pos_placed = Array.map (fun f -> Bytes.make (Array.length f.Flow.path) '\000') flows;
+    first = Array.map (fun f -> Array.length f.Flow.path) flows;
+    dim_volume = 0;
+    unserved = Array.length flows;
+    placed_count = 0;
+    log = [];
+  }
+
+let mem t v = Bytes.get t.placed v = '\001'
+let size t = t.placed_count
+let diminished_volume t = t.dim_volume
+let decrement t = t.one_minus_lambda *. float_of_int t.dim_volume
+
+let bandwidth t =
+  float_of_int t.total_volume -. (t.one_minus_lambda *. float_of_int t.dim_volume)
+
+let unserved_count t = t.unserved
+let is_feasible t = t.unserved = 0
+
+let do_add t v =
+  Bytes.set t.placed v '\001';
+  t.placed_count <- t.placed_count + 1;
+  Array.iter
+    (fun (fi, pos) ->
+      Bytes.set t.pos_placed.(fi) pos '\001';
+      let old = t.first.(fi) in
+      if pos < old then begin
+        let f = t.flows.(fi) in
+        let hops = Flow.hop_count f in
+        if old > hops then t.unserved <- t.unserved - 1;
+        t.dim_volume <-
+          t.dim_volume + contrib f.Flow.rate hops pos - contrib f.Flow.rate hops old;
+        t.first.(fi) <- pos
+      end)
+    t.index.(v)
+
+let do_remove t v =
+  Bytes.set t.placed v '\000';
+  t.placed_count <- t.placed_count - 1;
+  Array.iter
+    (fun (fi, pos) ->
+      Bytes.set t.pos_placed.(fi) pos '\000';
+      if pos = t.first.(fi) then begin
+        let f = t.flows.(fi) in
+        let hops = Flow.hop_count f in
+        let len = hops + 1 in
+        let bits = t.pos_placed.(fi) in
+        (* Next deployed vertex down the path, or the unserved sentinel. *)
+        let q = ref (pos + 1) in
+        while !q < len && Bytes.get bits !q = '\000' do
+          incr q
+        done;
+        let next = !q in
+        if next > hops then t.unserved <- t.unserved + 1;
+        t.dim_volume <-
+          t.dim_volume + contrib f.Flow.rate hops next - contrib f.Flow.rate hops pos;
+        t.first.(fi) <- next
+      end)
+    t.index.(v)
+
+let add t v =
+  if mem t v then t.log <- Untouched :: t.log
+  else begin
+    do_add t v;
+    t.log <- Added v :: t.log
+  end
+
+let remove t v =
+  if not (mem t v) then t.log <- Untouched :: t.log
+  else begin
+    do_remove t v;
+    t.log <- Removed v :: t.log
+  end
+
+let undo t =
+  match t.log with
+  | [] -> invalid_arg "Inc_oracle.undo: nothing to undo"
+  | Untouched :: rest -> t.log <- rest
+  | Added v :: rest ->
+    do_remove t v;
+    t.log <- rest
+  | Removed v :: rest ->
+    do_add t v;
+    t.log <- rest
+
+let reset t =
+  Bytes.fill t.placed 0 (Bytes.length t.placed) '\000';
+  Array.iter (fun b -> Bytes.fill b 0 (Bytes.length b) '\000') t.pos_placed;
+  Array.iteri (fun fi f -> t.first.(fi) <- Array.length f.Flow.path) t.flows;
+  t.dim_volume <- 0;
+  t.unserved <- Array.length t.flows;
+  t.placed_count <- 0;
+  t.log <- []
+
+let of_list instance vs =
+  let t = create instance in
+  List.iter (fun v -> if not (mem t v) then do_add t v) vs;
+  t
+
+let marginal_volume t v =
+  if mem t v then 0
+  else
+    Array.fold_left
+      (fun acc (fi, pos) ->
+        if pos < t.first.(fi) then begin
+          let f = t.flows.(fi) in
+          let hops = Flow.hop_count f in
+          acc + contrib f.Flow.rate hops pos - contrib f.Flow.rate hops t.first.(fi)
+        end
+        else acc)
+      0 t.index.(v)
+
+let marginal t v = t.one_minus_lambda *. float_of_int (marginal_volume t v)
+
+let iter_unserved t k =
+  Array.iteri
+    (fun fi f -> if t.first.(fi) > Flow.hop_count f then k fi)
+    t.flows
+
+let placement t =
+  let vs = ref [] in
+  for v = Bytes.length t.placed - 1 downto 0 do
+    if mem t v then vs := v :: !vs
+  done;
+  Placement.of_list !vs

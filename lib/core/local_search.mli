@@ -16,10 +16,14 @@ type report = {
       (** candidate deployments scored — [swaps] and [evaluations] are
           deprecated aliases of the same-named telemetry counters *)
   telemetry : Tdmd_obs.Telemetry.t;
-      (** counters ["swaps"], ["evaluations"], ["budget"],
-          ["placement_size"]; span [local-search] *)
+      (** counters ["swaps"], ["evaluations"], ["delta_evals"],
+          ["oracle_ns"], ["budget"], ["placement_size"];
+          span [local-search] *)
 }
 
 val refine : ?max_rounds:int -> k:int -> Instance.t -> Placement.t -> report
 (** [refine ~k inst p] requires [p] feasible (raises [Invalid_argument]
-    otherwise).  Default [max_rounds] = 1000. *)
+    otherwise).  Default [max_rounds] = 1000.  Candidate moves are
+    probed on an {!Inc_oracle} (add/remove + undo), so each evaluation
+    costs O(flows through the touched vertices) rather than a full
+    objective rescan. *)

@@ -15,10 +15,13 @@ let map ?(domains = 1) f xs =
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
-        if i < n && Atomic.get failure = None then begin
+        if i < n && Option.is_none (Atomic.get failure) then begin
           (match f tasks.(i) with
           | v -> results.(i) <- Some v
-          | exception e -> Atomic.set failure (Some (Worker_failure e)));
+          | exception e ->
+            (* First failure wins; a plain [set] would let a later domain's
+               exception overwrite the one that actually aborted the run. *)
+            ignore (Atomic.compare_and_set failure None (Some (Worker_failure e))));
           loop ()
         end
       in

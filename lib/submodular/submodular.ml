@@ -1,9 +1,18 @@
 open Tdmd_prelude
 
+type incremental = {
+  restart : unit -> unit;
+  gain : int -> float;
+  commit : int -> unit;
+}
+
 type oracle = {
   ground : int;
   value : int list -> float;
+  incremental : incremental option;
 }
+
+let make ~ground ~value ?incremental () = { ground; value; incremental }
 
 type result = {
   chosen : int list;
@@ -11,22 +20,22 @@ type result = {
   oracle_calls : int;
 }
 
-let greedy ?(stop = fun _ -> false) ~k oracle =
+let greedy_incremental ~stop ~k ~ground inc =
+  inc.restart ();
   let calls = ref 0 in
-  let value s =
+  let gain v =
     incr calls;
-    oracle.value s
+    inc.gain v
   in
-  let rec round chosen gains base =
+  let in_set = Array.make (max ground 1) false in
+  let rec round chosen gains =
     if List.length chosen >= k || stop (List.rev chosen) then
       { chosen = List.rev chosen; gains = List.rev gains; oracle_calls = !calls }
     else begin
-      (* Exact comparison, lowest index wins ties — identical tie
-         handling to [lazy_greedy], so the two return the same set. *)
       let best = ref (-1) and best_gain = ref 1e-12 in
-      for v = 0 to oracle.ground - 1 do
-        if not (List.mem v chosen) then begin
-          let g = value (v :: chosen) -. base in
+      for v = 0 to ground - 1 do
+        if not in_set.(v) then begin
+          let g = gain v in
           if g > !best_gain then begin
             best := v;
             best_gain := g
@@ -35,13 +44,92 @@ let greedy ?(stop = fun _ -> false) ~k oracle =
       done;
       if !best < 0 then
         { chosen = List.rev chosen; gains = List.rev gains; oracle_calls = !calls }
-      else
-        round (!best :: chosen) (!best_gain :: gains) (base +. !best_gain)
+      else begin
+        inc.commit !best;
+        in_set.(!best) <- true;
+        round (!best :: chosen) (!best_gain :: gains)
+      end
     end
   in
-  round [] [] (value [])
+  round [] []
 
-let lazy_greedy ?(stop = fun _ -> false) ~k oracle =
+let greedy ?(stop = fun _ -> false) ~k oracle =
+  match oracle.incremental with
+  | Some inc -> greedy_incremental ~stop ~k ~ground:oracle.ground inc
+  | None ->
+    let calls = ref 0 in
+    let value s =
+      incr calls;
+      oracle.value s
+    in
+    let rec round chosen gains base =
+      if List.length chosen >= k || stop (List.rev chosen) then
+        { chosen = List.rev chosen; gains = List.rev gains; oracle_calls = !calls }
+      else begin
+        (* Exact comparison, lowest index wins ties — identical tie
+           handling to [lazy_greedy], so the two return the same set. *)
+        let best = ref (-1) and best_gain = ref 1e-12 in
+        for v = 0 to oracle.ground - 1 do
+          if not (List.mem v chosen) then begin
+            let g = value (v :: chosen) -. base in
+            if g > !best_gain then begin
+              best := v;
+              best_gain := g
+            end
+          end
+        done;
+        if !best < 0 then
+          { chosen = List.rev chosen; gains = List.rev gains; oracle_calls = !calls }
+        else
+          round (!best :: chosen) (!best_gain :: gains) (base +. !best_gain)
+      end
+    in
+    round [] [] (value [])
+
+let lazy_greedy_incremental ~stop ~k ~ground inc =
+  inc.restart ();
+  let calls = ref 0 in
+  let gain v =
+    incr calls;
+    inc.gain v
+  in
+  let cmp (g1, v1) (g2, v2) = if g1 = g2 then compare v1 v2 else compare g2 g1 in
+  let heap = Tdmd_heap.Binary_heap.create ~cmp () in
+  for v = 0 to ground - 1 do
+    Tdmd_heap.Binary_heap.push heap (infinity, v)
+  done;
+  let rec select chosen gains =
+    if List.length chosen >= k || stop (List.rev chosen) then (chosen, gains)
+    else begin
+      match Tdmd_heap.Binary_heap.pop heap with
+      | None -> (chosen, gains)
+      | Some (_, v) ->
+        let fresh = gain v in
+        (* Same acceptance rule as the naive CELF path below: the fresh
+           gain must beat the next cached upper bound, ties deferring to
+           the lower index exactly as [greedy] does. *)
+        let accept =
+          match Tdmd_heap.Binary_heap.peek heap with
+          | None -> true
+          | Some (g_next, v_next) -> fresh > g_next || (fresh = g_next && v < v_next)
+        in
+        if accept then begin
+          if fresh <= 1e-12 then (chosen, gains)
+          else begin
+            inc.commit v;
+            select (v :: chosen) (fresh :: gains)
+          end
+        end
+        else begin
+          Tdmd_heap.Binary_heap.push heap (fresh, v);
+          select chosen gains
+        end
+    end
+  in
+  let chosen, gains = select [] [] in
+  { chosen = List.rev chosen; gains = List.rev gains; oracle_calls = !calls }
+
+let lazy_greedy_naive ?(stop = fun _ -> false) ~k oracle =
   let calls = ref 0 in
   let value s =
     incr calls;
@@ -91,6 +179,11 @@ let lazy_greedy ?(stop = fun _ -> false) ~k oracle =
   in
   let chosen, gains = select [] [] in
   { chosen = List.rev chosen; gains = List.rev gains; oracle_calls = !calls }
+
+let lazy_greedy ?(stop = fun _ -> false) ~k oracle =
+  match oracle.incremental with
+  | Some inc -> lazy_greedy_incremental ~stop ~k ~ground:oracle.ground inc
+  | None -> lazy_greedy_naive ~stop ~k oracle
 
 let random_subset rng n ~avoid =
   let s = ref [] in

@@ -8,10 +8,30 @@
     submodularity to skip re-evaluations and returns *the same set* as
     [greedy] — an ablation bench measures the saved oracle calls. *)
 
+type incremental = {
+  restart : unit -> unit;  (** reset the committed set to ∅ *)
+  gain : int -> float;     (** marginal value of an element vs. the committed set *)
+  commit : int -> unit;    (** accept an element into the committed set *)
+}
+(** Optional fast path for oracles that can answer marginals against a
+    mutable committed set without re-evaluating from scratch (the TDMD
+    decrement backs this with {e Inc_oracle}: O(flows through v) per
+    [gain] instead of O(|F|·avg-path-length)).  The greedy drivers use
+    it commit-on-accept: [gain] for every candidate probe, [commit] only
+    for the accepted element.  [gain] must return exactly
+    [value (v :: committed) -. value committed] — the differential tests
+    assert bit-for-bit agreement on integer-valued objectives. *)
+
 type oracle = {
   ground : int;                 (** ground-set size *)
   value : int list -> float;    (** set function; [value []] may be non-zero *)
+  incremental : incremental option;
+      (** fast marginal interface; [None] forces from-scratch evaluation *)
 }
+
+val make :
+  ground:int -> value:(int list -> float) -> ?incremental:incremental -> unit -> oracle
+(** Plain constructor; [incremental] defaults to [None]. *)
 
 type result = {
   chosen : int list;            (** in selection order *)
@@ -24,7 +44,9 @@ val greedy :
 (** Plain adaptive greedy: repeatedly add the element with the largest
     marginal gain (lowest index wins ties) until [k] elements are chosen,
     no element has positive gain, or [stop chosen] becomes true (checked
-    after each selection — GTP uses it for "all flows processed"). *)
+    after each selection — GTP uses it for "all flows processed").  When
+    the oracle carries an {!incremental} interface, marginals come from
+    it (identical selections whenever [gain] is exact; far cheaper). *)
 
 val lazy_greedy :
   ?stop:(int list -> bool) -> k:int -> oracle -> result

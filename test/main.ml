@@ -11,6 +11,7 @@ let () =
       ("topology", Test_topo.suite);
       ("setcover", Test_setcover.suite);
       ("submodular", Test_submod.suite);
+      ("inc-oracle", Test_inc_oracle.suite);
       ("model", Test_model.suite);
       ("obs", Test_obs.suite);
       ("solvers", Test_solvers.suite);

@@ -91,6 +91,41 @@ let prop_heaps_sort =
       Tdmd_heap.Binary_heap.to_sorted_list bh = expected
       && Tdmd_heap.Pairing_heap.to_sorted_list ph = expected)
 
+(* Property: the binary heap is sound for boxed floats — the former
+   [Obj.magic 0] dummy slot relied on every element sharing the dummy's
+   runtime representation. *)
+let prop_binary_heap_boxed_floats =
+  QCheck.Test.make ~name:"binary heap drains boxed floats sorted" ~count:200
+    QCheck.(list small_signed_int)
+    (fun xs ->
+      let xs = List.map (fun i -> float_of_int i *. 0.5) xs in
+      let h = Binary_heap.create ~cmp:Float.compare () in
+      List.iter (Binary_heap.push h) xs;
+      Binary_heap.to_sorted_list h = List.sort Float.compare xs)
+
+(* Same for tuples mixing a float key with payload (HAT's heap shape),
+   interleaving pushes and pops. *)
+let prop_binary_heap_tuples =
+  QCheck.Test.make ~name:"binary heap drains float-keyed tuples sorted"
+    ~count:200
+    QCheck.(list (pair small_signed_int small_int))
+    (fun xs ->
+      let xs = List.map (fun (a, b) -> (float_of_int a *. 0.25, b)) xs in
+      let h = Binary_heap.create ~capacity:1 ~cmp:compare () in
+      (* Interleave: push two, pop one — exercises slot clearing and
+         growth from a minimal capacity. *)
+      let popped = ref [] in
+      List.iter
+        (fun x ->
+          Binary_heap.push h x;
+          if Binary_heap.length h mod 2 = 0 then
+            match Binary_heap.pop h with
+            | Some y -> popped := y :: !popped
+            | None -> ())
+        xs;
+      let drained = List.rev !popped @ Binary_heap.to_sorted_list h in
+      List.sort compare drained = List.sort compare xs)
+
 (* Property: indexed heap pops keys in priority order after a random mix
    of pushes and priority updates. *)
 let prop_indexed_heap =
@@ -128,5 +163,7 @@ let suite =
     Alcotest.test_case "indexed heap: error cases" `Quick test_indexed_heap_rejects;
     Alcotest.test_case "pairing heap: basics + merge" `Quick test_pairing_heap_basic;
     QCheck_alcotest.to_alcotest prop_heaps_sort;
+    QCheck_alcotest.to_alcotest prop_binary_heap_boxed_floats;
+    QCheck_alcotest.to_alcotest prop_binary_heap_tuples;
     QCheck_alcotest.to_alcotest prop_indexed_heap;
   ]

@@ -1,0 +1,219 @@
+(* Differential tests: the incremental decrement oracle must agree with
+   the from-scratch naive path bit-for-bit — same diminished volumes,
+   same marginals, same greedy/CELF/HAT selections, same bandwidth.
+   Exactness is by construction (all bookkeeping in integer
+   diminished-volume units, λ applied once at the float boundary), and
+   these properties lock it in over randomized instances. *)
+
+open Tdmd_prelude
+module S = Tdmd_submod.Submodular
+module O = Tdmd.Inc_oracle
+
+let dyadic_lambda rng =
+  (* Dyadic λ keeps the legacy per-flow float summation exact too, so
+     bandwidth comparisons below can demand exact equality. *)
+  match Rng.int rng 4 with
+  | 0 -> 0.0
+  | 1 -> 0.25
+  | 2 -> 0.5
+  | _ -> 0.75
+
+(* (a) Random add/remove/undo sequences tracked against a shadow
+   placement stack: volume, feasibility and marginals must match the
+   naive recomputation after every operation. *)
+let prop_ops_differential =
+  QCheck.Test.make ~name:"inc oracle = naive scan under random add/remove/undo"
+    ~count:120
+    QCheck.(pair (int_bound 1_000_000) (int_range 4 14))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst =
+        Fixtures.random_general_instance rng ~n ~flows:(2 * n) ~max_rate:6
+          ~lambda:(dyadic_lambda rng)
+      in
+      let t = O.create inst in
+      (* Shadow stack: current placement on top, one entry per journaled
+         op (no-ops push their unchanged placement, mirroring the
+         journal's Untouched entries). *)
+      let stack = ref [ Tdmd.Placement.empty ] in
+      let current () = List.hd !stack in
+      let ok = ref true in
+      let check () =
+        let p = current () in
+        ok :=
+          !ok
+          && O.diminished_volume t = Tdmd.Bandwidth.diminished_volume inst p
+          && O.is_feasible t = Tdmd.Allocation.is_feasible inst p
+          && O.size t = Tdmd.Placement.size p
+          && Tdmd.Placement.to_list (O.placement t) = Tdmd.Placement.to_list p
+          && O.bandwidth t = Tdmd.Bandwidth.total inst p
+          &&
+          let v = Rng.int rng n in
+          O.marginal_volume t v
+          = Tdmd.Bandwidth.diminished_volume inst (Tdmd.Placement.add p v)
+            - Tdmd.Bandwidth.diminished_volume inst p
+      in
+      for _ = 1 to 60 do
+        (match Rng.int rng 5 with
+        | 0 | 1 ->
+          let v = Rng.int rng n in
+          O.add t v;
+          stack := Tdmd.Placement.add (current ()) v :: !stack
+        | 2 | 3 ->
+          let v = Rng.int rng n in
+          O.remove t v;
+          stack := Tdmd.Placement.remove (current ()) v :: !stack
+        | _ ->
+          if List.length !stack > 1 then begin
+            O.undo t;
+            stack := List.tl !stack
+          end);
+        check ()
+      done;
+      !ok)
+
+(* (b) Greedy / CELF over the submodular machinery: the incremental
+   oracle must make the same selections with the same gains as the naive
+   full-rescan oracle — exact float equality, no tolerance. *)
+let prop_greedy_differential =
+  QCheck.Test.make ~name:"greedy & CELF: incremental oracle = naive oracle"
+    ~count:120
+    QCheck.(pair (int_bound 1_000_000) (int_range 4 14))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst =
+        Fixtures.random_general_instance rng ~n ~flows:(2 * n) ~max_rate:6
+          ~lambda:(Rng.float rng 1.0)
+      in
+      let k = 1 + Rng.int rng n in
+      let same select =
+        let a = select ~k (Tdmd.Bandwidth.oracle_naive inst) in
+        let b = select ~k (Tdmd.Bandwidth.oracle inst) in
+        a.S.chosen = b.S.chosen
+        && a.S.gains = b.S.gains
+        && Tdmd.Bandwidth.total inst (Tdmd.Placement.of_list a.S.chosen)
+           = Tdmd.Bandwidth.total inst (Tdmd.Placement.of_list b.S.chosen)
+      in
+      same (fun ~k o -> S.greedy ~k o) && same (fun ~k o -> S.lazy_greedy ~k o))
+
+(* (c) End-to-end GTP / CELF: ?incremental:false (naive reference) and
+   the default incremental path must return identical reports. *)
+let prop_gtp_run_differential =
+  QCheck.Test.make ~name:"Gtp.run/run_celf: incremental = naive" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range 4 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst =
+        Fixtures.random_general_instance rng ~n ~flows:n ~max_rate:5
+          ~lambda:(Rng.float rng 1.0)
+      in
+      let budget = 1 + Rng.int rng n in
+      let same run =
+        let a = run ~budget ~incremental:false inst in
+        let b = run ~budget ~incremental:true inst in
+        Tdmd.Placement.to_list a.Tdmd.Gtp.placement
+        = Tdmd.Placement.to_list b.Tdmd.Gtp.placement
+        && a.Tdmd.Gtp.bandwidth = b.Tdmd.Gtp.bandwidth
+        && a.Tdmd.Gtp.feasible = b.Tdmd.Gtp.feasible
+      in
+      same (fun ~budget ~incremental i -> Tdmd.Gtp.run ~budget ~incremental i)
+      && same (fun ~budget ~incremental i ->
+             Tdmd.Gtp.run_celf ~budget ~incremental i))
+
+(* (d) HAT on random trees: the Δb probes answered by the oracle mirror
+   must reproduce the naive merge sequence exactly. *)
+let prop_hat_differential =
+  QCheck.Test.make ~name:"Hat.run: incremental = naive" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range 4 16))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst =
+        Fixtures.random_tree_instance rng ~n ~max_rate:6
+          ~lambda:(Rng.float rng 1.0)
+      in
+      let k = 1 + Rng.int rng n in
+      let a = Tdmd.Hat.run ~incremental:false ~k inst in
+      let b = Tdmd.Hat.run ~incremental:true ~k inst in
+      Tdmd.Placement.to_list a.Tdmd.Hat.placement
+      = Tdmd.Placement.to_list b.Tdmd.Hat.placement
+      && a.Tdmd.Hat.bandwidth = b.Tdmd.Hat.bandwidth
+      && a.Tdmd.Hat.merges = b.Tdmd.Hat.merges)
+
+(* (e) Cover_fixup.within against a naive reference of the same
+   algorithm (prefix keep/drop + repeated best-cover picks, feasibility
+   by full rescan). *)
+let reference_within inst ~chosen ~budget =
+  let chosen = Array.of_list chosen in
+  let extend kept_len =
+    let prefix =
+      Array.to_list (Array.sub chosen 0 kept_len)
+      |> List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) []
+      |> List.rev
+    in
+    let rec grow sel =
+      let p = Tdmd.Placement.of_list sel in
+      if Tdmd.Allocation.is_feasible inst p || List.length sel >= budget then sel
+      else begin
+        match
+          Tdmd.Cover_fixup.best_cover_vertex inst sel
+            (Tdmd.Allocation.unserved inst p)
+        with
+        | None -> sel
+        | Some v -> grow (sel @ [ v ])
+      end
+    in
+    grow prefix
+  in
+  let rec attempt kept_len fallback =
+    let candidate = extend kept_len in
+    let feasible =
+      Tdmd.Allocation.is_feasible inst (Tdmd.Placement.of_list candidate)
+    in
+    let fallback = match fallback with Some f -> Some f | None -> Some candidate in
+    if feasible then candidate
+    else if kept_len = 0 then (match fallback with Some f -> f | None -> candidate)
+    else attempt (kept_len - 1) fallback
+  in
+  attempt (Array.length chosen) None
+
+let prop_cover_fixup_differential =
+  QCheck.Test.make ~name:"Cover_fixup.within: oracle path = naive reference"
+    ~count:80
+    QCheck.(pair (int_bound 1_000_000) (int_range 4 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst =
+        Fixtures.random_general_instance rng ~n ~flows:(2 * n) ~max_rate:5
+          ~lambda:0.5
+      in
+      let budget = 1 + Rng.int rng n in
+      let chosen =
+        List.init (Rng.int rng (budget + 1)) (fun _ -> Rng.int rng n)
+      in
+      Tdmd.Cover_fixup.within inst ~chosen ~budget
+      = reference_within inst ~chosen ~budget)
+
+(* Spot-check the telemetry plumbing: the incremental GTP run records
+   the new oracle counters. *)
+let test_oracle_counters () =
+  let rng = Rng.create 99 in
+  let inst =
+    Fixtures.random_general_instance rng ~n:10 ~flows:10 ~max_rate:5 ~lambda:0.5
+  in
+  let r = Tdmd.Gtp.run ~budget:4 inst in
+  let tel = r.Tdmd.Gtp.telemetry in
+  Alcotest.(check bool) "delta_evals recorded" true
+    (Tdmd_obs.Telemetry.get_count tel "delta_evals" > 0);
+  Alcotest.(check bool) "oracle_ns recorded" true
+    (Tdmd_obs.Telemetry.find tel "oracle_ns" <> None)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_ops_differential;
+    QCheck_alcotest.to_alcotest prop_greedy_differential;
+    QCheck_alcotest.to_alcotest prop_gtp_run_differential;
+    QCheck_alcotest.to_alcotest prop_hat_differential;
+    QCheck_alcotest.to_alcotest prop_cover_fixup_differential;
+    Alcotest.test_case "telemetry: oracle counters recorded" `Quick
+      test_oracle_counters;
+  ]

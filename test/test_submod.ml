@@ -5,14 +5,13 @@ module S = Tdmd_submod.Submodular
 let coverage_oracle () =
   let sets = [| [ 0; 1 ]; [ 1; 2; 3 ]; [ 3 ]; [ 0; 1; 2; 3; 4 ] |] in
   let weights = [| 5.0; 1.0; 3.0; 2.0; 0.5 |] in
-  {
-    S.ground = Array.length sets;
-    value =
-      (fun chosen ->
-        let covered = Hashtbl.create 8 in
-        List.iter (fun i -> List.iter (fun e -> Hashtbl.replace covered e ()) sets.(i)) chosen;
-        Hashtbl.fold (fun e () acc -> acc +. weights.(e)) covered 0.0);
-  }
+  S.make
+    ~ground:(Array.length sets)
+    ~value:(fun chosen ->
+      let covered = Hashtbl.create 8 in
+      List.iter (fun i -> List.iter (fun e -> Hashtbl.replace covered e ()) sets.(i)) chosen;
+      Hashtbl.fold (fun e () acc -> acc +. weights.(e)) covered 0.0)
+    ()
 
 let test_greedy_coverage () =
   let oracle = coverage_oracle () in
@@ -25,14 +24,14 @@ let test_greedy_coverage () =
 
 let test_greedy_k_limit () =
   let oracle =
-    { S.ground = 4; value = (fun chosen -> float_of_int (List.length chosen)) }
+    S.make ~ground:4 ~value:(fun chosen -> float_of_int (List.length chosen)) ()
   in
   let r = S.greedy ~k:2 oracle in
   Alcotest.(check int) "stops at k" 2 (List.length r.S.chosen)
 
 let test_greedy_stop () =
   let oracle =
-    { S.ground = 5; value = (fun chosen -> float_of_int (List.length chosen)) }
+    S.make ~ground:5 ~value:(fun chosen -> float_of_int (List.length chosen)) ()
   in
   let r = S.greedy ~stop:(fun chosen -> List.length chosen >= 3) ~k:5 oracle in
   Alcotest.(check int) "stop predicate respected" 3 (List.length r.S.chosen)
@@ -61,10 +60,9 @@ let test_checkers_accept_coverage () =
 let test_checkers_reject_supermodular () =
   (* f(S) = |S|^2 is supermodular and must be caught. *)
   let oracle =
-    {
-      S.ground = 6;
-      value = (fun chosen -> let n = float_of_int (List.length chosen) in n *. n);
-    }
+    S.make ~ground:6
+      ~value:(fun chosen -> let n = float_of_int (List.length chosen) in n *. n)
+      ()
   in
   let rng = Rng.create 32 in
   match S.check_submodular rng ~trials:500 oracle with
