@@ -317,6 +317,155 @@ let oracle_bench () =
   Printf.printf "\nwrote %s (%d sizes)\n" oracle_json_path
     (List.length oracle_sizes)
 
+(* ------------------------------------------------------------------ *)
+(* Serve bench: closed-loop clients against an in-process server       *)
+(* ------------------------------------------------------------------ *)
+
+(* Starts `tdmd serve` in-process on a Unix socket, then sweeps client
+   concurrency; every client is one OS thread running a closed loop of
+   solve requests over its own connection.  Per-request latency is
+   measured client-side (includes framing + queueing + solve), p50/p95/
+   p99 come from the raw samples, and one JSON-lines record per
+   concurrency level lands in BENCH_serve.json (path overridable with
+   TDMD_BENCH_SERVE_JSON; TDMD_BENCH_SERVE_QUICK=1 shrinks the sweep
+   for CI smoke). *)
+let serve_json_path =
+  match Sys.getenv_opt "TDMD_BENCH_SERVE_JSON" with
+  | Some p -> p
+  | None -> "BENCH_serve.json"
+
+let serve_quick = Sys.getenv_opt "TDMD_BENCH_SERVE_QUICK" <> None
+
+let serve_bench () =
+  let open Tdmd_prelude in
+  let module Server = Tdmd_server.Server in
+  let module Client = Tdmd_server.Client in
+  let module P = Tdmd_server.Protocol in
+  let levels = if serve_quick then [ 1; 4 ] else [ 1; 2; 4; 8; 16 ] in
+  let per_client = if serve_quick then 8 else 50 in
+  let rng = Rng.create 4242 in
+  let tree_inst = Scenario.build_tree rng Scenario.default_tree in
+  let k = Scenario.default_tree.Scenario.k in
+  let session = Tdmd_server.Session.of_tree ~churn_k:k tree_inst in
+  let sock = Filename.temp_file "tdmd-bench" ".sock" in
+  Sys.remove sock;
+  let addr = P.Unix_sock sock in
+  let server =
+    Server.start
+      {
+        Server.addr;
+        domains = Parallel.recommended_domains ();
+        queue_capacity = 256;
+        default_deadline_ms = None;
+        metrics_out = None;
+      }
+      session
+  in
+  (* Sanity: a served answer must be bit-identical to a direct registry
+     call with the same seed. *)
+  (let c = Result.get_ok (Client.connect_retry addr) in
+   let response =
+     Client.rpc c (P.Solve { algo = "gtp"; k; seed = 1; target = P.Static })
+   in
+   Client.close c;
+   let direct =
+     (Option.get (Tdmd.Solvers.on_tree "gtp")) ~rng:(Rng.create 1) ~k tree_inst
+   in
+   match response with
+   | Ok resp ->
+     let served_placement =
+       match Tdmd_obs.Json.member "placement" resp with
+       | Some (Tdmd_obs.Json.List vs) ->
+         List.filter_map
+           (function Tdmd_obs.Json.Int v -> Some v | _ -> None)
+           vs
+       | _ -> []
+     in
+     if
+       served_placement
+       <> Tdmd.Placement.to_list direct.Tdmd.Solver_intf.placement
+       || Tdmd_obs.Json.member "bandwidth" resp
+          <> Some (Tdmd_obs.Json.Float direct.Tdmd.Solver_intf.bandwidth)
+     then failwith "serve bench: served answer differs from direct call"
+   | Error msg -> failwith ("serve bench: " ^ msg));
+  let oc = open_out serve_json_path in
+  let sink = Tdmd_obs.Sink.of_channel oc in
+  print_endline "== serve bench: closed-loop clients, solve(gtp) ==\n";
+  let table =
+    Table.create
+      [ "clients"; "requests"; "wall (s)"; "req/s"; "p50 (ms)"; "p95 (ms)"; "p99 (ms)" ]
+  in
+  List.iter
+    (fun clients ->
+      let total = clients * per_client in
+      let latencies_ms = Array.make total nan in
+      let errors = Array.make clients 0 in
+      let t0 = Tdmd_obs.Clock.now_ns () in
+      let run ci =
+        match Client.connect_retry addr with
+        | Error _ -> errors.(ci) <- per_client
+        | Ok c ->
+          for r = 0 to per_client - 1 do
+            let i = (ci * per_client) + r in
+            let s0 = Tdmd_obs.Clock.now_ns () in
+            (match
+               Client.rpc c
+                 (P.Solve { algo = "gtp"; k; seed = i; target = P.Static })
+             with
+            | Ok resp
+              when Tdmd_obs.Json.member "ok" resp = Some (Tdmd_obs.Json.Bool true)
+              ->
+              latencies_ms.(i) <-
+                Int64.to_float (Int64.sub (Tdmd_obs.Clock.now_ns ()) s0) /. 1e6
+            | Ok _ | Error _ -> errors.(ci) <- errors.(ci) + 1)
+          done;
+          Client.close c
+      in
+      let threads = List.init clients (fun ci -> Thread.create run ci) in
+      List.iter Thread.join threads;
+      let wall =
+        Int64.to_float (Int64.sub (Tdmd_obs.Clock.now_ns ()) t0) /. 1e9
+      in
+      let errors = Array.fold_left ( + ) 0 errors in
+      let samples =
+        Array.of_list
+          (List.filter
+             (fun x -> not (Float.is_nan x))
+             (Array.to_list latencies_ms))
+      in
+      let pct p = if Array.length samples = 0 then nan else Stats.percentile samples p in
+      let throughput = float_of_int (total - errors) /. Float.max wall 1e-9 in
+      Tdmd_obs.Sink.emit sink
+        (Tdmd_obs.Json.Obj
+           [
+             ("event", Tdmd_obs.Json.String "bench-serve");
+             ("concurrency", Tdmd_obs.Json.Int clients);
+             ("requests", Tdmd_obs.Json.Int total);
+             ("errors", Tdmd_obs.Json.Int errors);
+             ("wall_seconds", Tdmd_obs.Json.Float wall);
+             ("throughput_rps", Tdmd_obs.Json.Float throughput);
+             ("p50_ms", Tdmd_obs.Json.Float (pct 0.50));
+             ("p95_ms", Tdmd_obs.Json.Float (pct 0.95));
+             ("p99_ms", Tdmd_obs.Json.Float (pct 0.99));
+           ]);
+      Table.add_row table
+        [
+          string_of_int clients;
+          string_of_int total;
+          Printf.sprintf "%.3f" wall;
+          Printf.sprintf "%.0f" throughput;
+          Printf.sprintf "%.2f" (pct 0.50);
+          Printf.sprintf "%.2f" (pct 0.95);
+          Printf.sprintf "%.2f" (pct 0.99);
+        ])
+    levels;
+  close_out oc;
+  Server.request_stop server;
+  Server.wait server;
+  Table.print table;
+  Printf.printf "\nwrote %s (%d concurrency levels)\n" serve_json_path
+    (List.length levels)
+
 let run_all () =
   List.iter
     (fun (id, f) ->
@@ -331,6 +480,8 @@ let run_all () =
   print_newline ();
   oracle_bench ();
   print_newline ();
+  serve_bench ();
+  print_newline ();
   ablation ()
 
 let () =
@@ -339,15 +490,17 @@ let () =
   | [| _; "micro" |] -> micro ()
   | [| _; "solvers" |] -> solvers ()
   | [| _; "oracle" |] -> oracle_bench ()
+  | [| _; "serve" |] -> serve_bench ()
   | [| _; "ablation" |] -> ablation ()
   | [| _; fig |] -> (
     match List.assoc_opt fig line_figures with
     | Some f -> f ()
     | None ->
       Printf.eprintf
-        "unknown target %s (expected fig8..fig17, micro, solvers, oracle, ablation)\n"
+        "unknown target %s (expected fig8..fig17, micro, solvers, oracle, serve, ablation)\n"
         fig;
       exit 1)
   | _ ->
-    Printf.eprintf "usage: main.exe [fig8..fig17|micro|solvers|oracle|ablation]\n";
+    Printf.eprintf
+      "usage: main.exe [fig8..fig17|micro|solvers|oracle|serve|ablation]\n";
     exit 1

@@ -1,10 +1,13 @@
 (* tdmd-cli: generate TDMD instances and solve them from the command
-   line.
+   line, or serve them over a socket.
 
      tdmd-cli solve --topology tree --size 22 --k 8 --algo dp
      tdmd-cli solve --topology general --size 30 --k 10 --algo gtp --lambda 0.2
      tdmd-cli figures fig9
-     tdmd-cli dot --topology fattree --size 4 > fat.dot *)
+     tdmd-cli dot --topology fattree --size 4 > fat.dot
+     tdmd-cli serve --topology tree --size 22 --listen /tmp/tdmd.sock
+     tdmd-cli client --connect /tmp/tdmd.sock --op solve --algo gtp --k 8
+     tdmd-cli churn --topology general --size 30 --horizon 50 *)
 
 open Cmdliner
 open Tdmd_prelude
@@ -29,11 +32,7 @@ let topology_conv =
 let algo_conv =
   let parse s =
     if List.mem s Tdmd.Solvers.names then Ok s
-    else
-      Error
-        (`Msg
-          (Printf.sprintf "unknown algorithm %S (expected one of: %s)" s
-             (String.concat " | " Tdmd.Solvers.names)))
+    else Error (`Msg (Tdmd.Solvers.describe_unknown ~tree_input:true s))
   in
   Arg.conv (parse, Format.pp_print_string)
 
@@ -112,8 +111,8 @@ let solve topology size k lambda density seed algo trace metrics_out =
       match Tdmd.Solvers.find_general algo with
       | Some f -> fun () -> f ~rng ~k general
       | None ->
-        Printf.eprintf "%s runs on tree topologies only (use --topology tree)\n"
-          algo;
+        (* The name parsed, so it is registered — it must be tree-only. *)
+        Printf.eprintf "%s\n" (Tdmd.Solvers.describe_unknown algo);
         exit 2)
   in
   let outcome, seconds = Timer.time run in
@@ -243,9 +242,344 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Emit a generated topology as Graphviz DOT")
     Term.(const dot $ topology_arg $ size_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client: the placement service                               *)
+(* ------------------------------------------------------------------ *)
+
+let addr_conv =
+  let parse s =
+    match Tdmd_server.Protocol.addr_of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf a =
+    Format.pp_print_string ppf (Tdmd_server.Protocol.addr_to_string a)
+  in
+  Arg.conv (parse, print)
+
+let listen_arg =
+  Arg.(
+    value
+    & opt addr_conv (Tdmd_server.Protocol.Unix_sock "tdmd.sock")
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:"Listen address: unix:PATH, tcp:HOST:PORT, or a bare socket path")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt addr_conv (Tdmd_server.Protocol.Unix_sock "tdmd.sock")
+    & info [ "connect"; "c" ] ~docv:"ADDR"
+        ~doc:"Server address: unix:PATH, tcp:HOST:PORT, or a bare socket path")
+
+let load_instance_file file =
+  let contents =
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Printf.eprintf "cannot read instance: %s\n" msg;
+      exit 2
+  in
+  match
+    Result.bind
+      (Tdmd_obs.Json.of_string contents)
+      Tdmd_server.Protocol.instance_of_json
+  with
+  | Ok inst -> inst
+  | Error msg ->
+    Printf.eprintf "invalid instance %s: %s\n" file msg;
+    exit 2
+
+let serve listen topology size lambda density seed instance_file domains queue
+    deadline_ms churn_k metrics_out =
+  let session =
+    match instance_file with
+    | Some file -> Tdmd_server.Session.of_general ~churn_k (load_instance_file file)
+    | None -> (
+      let tree_inst, general =
+        build_instances topology ~size ~lambda ~density ~seed
+      in
+      match tree_inst with
+      | Some t -> Tdmd_server.Session.of_tree ~churn_k t
+      | None -> Tdmd_server.Session.of_general ~churn_k general)
+  in
+  let cfg =
+    {
+      Tdmd_server.Server.addr = listen;
+      domains;
+      queue_capacity = queue;
+      default_deadline_ms = deadline_ms;
+      metrics_out;
+    }
+  in
+  let server =
+    try Tdmd_server.Server.start cfg session
+    with Unix.Unix_error (err, _, arg) ->
+      Printf.eprintf "cannot listen on %s: %s %s\n"
+        (Tdmd_server.Protocol.addr_to_string listen)
+        (Unix.error_message err) arg;
+      exit 2
+  in
+  let stop _ = Tdmd_server.Server.request_stop server in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  let inst = Tdmd_server.Session.general session in
+  Printf.printf
+    "tdmd serve: %d vertices, %d flows, lambda %g | %d worker domain(s), \
+     queue %d | listening on %s\n\
+     %!"
+    (Tdmd.Instance.vertex_count inst)
+    (Tdmd.Instance.flow_count inst)
+    inst.Tdmd.Instance.lambda domains queue
+    (Tdmd_server.Protocol.addr_to_string listen);
+  Tdmd_server.Server.wait server;
+  print_endline "tdmd serve: drained, bye"
+
+let serve_cmd =
+  let instance_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "instance" ] ~docv:"FILE"
+          ~doc:"Serve the inline JSON instance from $(docv) instead of a generated topology")
+  in
+  let domains_arg =
+    Arg.(value & opt int 2 & info [ "domains" ] ~doc:"Worker domains")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue" ] ~doc:"Bounded request-queue capacity")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ]
+          ~doc:"Default queueing deadline for requests that carry none")
+  in
+  let churn_k_arg =
+    Arg.(value & opt int 8 & info [ "churn-k" ] ~doc:"Middlebox budget of the churn engine")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the placement service (length-prefixed JSON over a socket)")
+    Term.(
+      const serve $ listen_arg $ topology_arg $ size_arg $ lambda_arg
+      $ density_arg $ seed_arg $ instance_arg $ domains_arg $ queue_arg
+      $ deadline_arg $ churn_k_arg $ metrics_out_arg)
+
+let client connect op algo k seed on flow_id rate path ms deadline_ms =
+  let module P = Tdmd_server.Protocol in
+  let parse_path s =
+    List.filter_map int_of_string_opt (String.split_on_char ',' s)
+  in
+  let request =
+    match op with
+    | "ping" -> P.Ping
+    | "stats" -> P.Stats
+    | "shutdown" -> P.Shutdown
+    | "sleep" -> P.Sleep ms
+    | "solve" ->
+      P.Solve
+        {
+          algo;
+          k;
+          seed;
+          target = (if on = "live" then P.Live else P.Static);
+        }
+    | "arrive" -> P.Arrive { id = flow_id; rate; path = parse_path path }
+    | "depart" -> P.Depart flow_id
+    | other ->
+      Printf.eprintf
+        "unknown op %S (ping | stats | solve | arrive | depart | sleep | shutdown)\n"
+        other;
+      exit 2
+  in
+  match Tdmd_server.Client.connect_retry ~attempts:30 ~delay:0.1 connect with
+  | Error msg ->
+    Printf.eprintf "cannot connect to %s: %s\n" (P.addr_to_string connect) msg;
+    exit 2
+  | Ok c ->
+    let result = Tdmd_server.Client.rpc c ?deadline_ms request in
+    Tdmd_server.Client.close c;
+    (match result with
+    | Error msg ->
+      Printf.eprintf "rpc failed: %s\n" msg;
+      exit 2
+    | Ok response ->
+      print_endline (Tdmd_obs.Json.to_string response);
+      (match Tdmd_obs.Json.member "ok" response with
+      | Some (Tdmd_obs.Json.Bool true) -> ()
+      | _ -> exit 1))
+
+let client_cmd =
+  let op_arg =
+    Arg.(
+      value & opt string "ping"
+      & info [ "op" ]
+          ~doc:"ping | stats | solve | arrive | depart | sleep | shutdown")
+  in
+  let on_arg =
+    Arg.(
+      value & opt string "static"
+      & info [ "on" ] ~doc:"solve target: static | live")
+  in
+  let flow_id_arg =
+    Arg.(value & opt int 0 & info [ "flow-id" ] ~doc:"Flow id for arrive/depart")
+  in
+  let rate_arg =
+    Arg.(value & opt int 1 & info [ "rate" ] ~doc:"Flow rate for arrive")
+  in
+  let path_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "path" ] ~docv:"V0,V1,..."
+          ~doc:"Comma-separated vertex path for arrive")
+  in
+  let ms_arg =
+    Arg.(value & opt int 100 & info [ "ms" ] ~doc:"Milliseconds for sleep")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~doc:"Per-request queueing deadline")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running tdmd serve and print the response")
+    Term.(
+      const client $ connect_arg $ op_arg $ algo_arg $ k_arg $ seed_arg $ on_arg
+      $ flow_id_arg $ rate_arg $ path_arg $ ms_arg $ deadline_arg)
+
+(* ------------------------------------------------------------------ *)
+(* churn: replay an arrival/departure trace through Incremental        *)
+(* ------------------------------------------------------------------ *)
+
+let churn topology size k lambda density seed horizon interarrival lifetime
+    trace metrics_out =
+  let _, general = build_instances topology ~size ~lambda ~density ~seed in
+  let graph = general.Tdmd.Instance.graph in
+  let n = Tdmd.Instance.vertex_count general in
+  let rng = Rng.create (seed + 7) in
+  let draw_flow rng id =
+    (* Random shortest-path flow; the generated topologies are
+       connected, so a handful of draws always finds a distinct pair. *)
+    let rec pick attempts =
+      if attempts > 100 then failwith "churn: cannot draw a flow path"
+      else begin
+        let src = Rng.int rng n and dst = Rng.int rng n in
+        if src = dst then pick (attempts + 1)
+        else begin
+          match Tdmd_graph.Bfs.shortest_path graph ~src ~dst with
+          | Some path when List.length path > 1 ->
+            Tdmd_flow.Flow.make ~id ~rate:(Rng.int_in rng 1 8) ~path
+          | _ -> pick (attempts + 1)
+        end
+      end
+    in
+    pick 0
+  in
+  let timeline =
+    Tdmd_traffic.Temporal.generate rng ~horizon ~mean_interarrival:interarrival
+      ~mean_lifetime:lifetime ~draw_flow
+  in
+  let engine =
+    Tdmd.Incremental.create ~graph ~lambda:general.Tdmd.Instance.lambda ~k
+  in
+  let events = List.length timeline in
+  let (), seconds =
+    Timer.time (fun () ->
+        List.iter
+          (fun (_, event) ->
+            match event with
+            | Tdmd_traffic.Temporal.Arrival f -> Tdmd.Incremental.arrive engine f
+            | Tdmd_traffic.Temporal.Departure id -> Tdmd.Incremental.depart engine id)
+          timeline)
+  in
+  let tel = Tdmd.Incremental.telemetry engine in
+  let final_flows = List.length (Tdmd.Incremental.flows engine) in
+  let bandwidth = Tdmd.Incremental.bandwidth engine in
+  let volume =
+    Tdmd_flow.Flow.total_path_volume (Tdmd.Incremental.flows engine)
+  in
+  Printf.printf "trace:      %d events over horizon %g (%d arrivals, %d departures)\n"
+    events horizon
+    (Tdmd_obs.Telemetry.get_count tel "arrivals")
+    (Tdmd_obs.Telemetry.get_count tel "departures");
+  Printf.printf "final:      %d active flows, %d/%d boxes deployed\n" final_flows
+    (Tdmd.Placement.size (Tdmd.Incremental.placement engine))
+    k;
+  Printf.printf "bandwidth:  %g  (%.1f%% of unprocessed)\n" bandwidth
+    (100.0 *. bandwidth /. Float.max (float_of_int volume) 1.0);
+  Printf.printf "feasible:   %b\n" (Tdmd.Incremental.feasible engine);
+  Printf.printf "moves:      %d  (%.2f per event)\n"
+    (Tdmd.Incremental.moves engine)
+    (float_of_int (Tdmd.Incremental.moves engine)
+    /. Float.max 1.0 (float_of_int events));
+  Printf.printf "time:       %.3f s  (%.0f events/s)\n" seconds
+    (float_of_int events /. Float.max seconds 1e-9);
+  if trace then Format.printf "telemetry:@.%a@." Tdmd_obs.Telemetry.pp tel;
+  match metrics_out with
+  | None -> ()
+  | Some file ->
+    let oc =
+      try open_out_gen [ Open_append; Open_creat ] 0o644 file
+      with Sys_error msg ->
+        Printf.eprintf "cannot write metrics: %s\n" msg;
+        exit 2
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Tdmd_obs.Sink.emit (Tdmd_obs.Sink.of_channel oc)
+          (Tdmd_obs.Sink.record ~event:"churn"
+             ~extra:
+               [
+                 ("k", Tdmd_obs.Json.Int k);
+                 ("seed", Tdmd_obs.Json.Int seed);
+                 ("events", Tdmd_obs.Json.Int events);
+                 ("bandwidth", Tdmd_obs.Json.Float bandwidth);
+                 ("seconds", Tdmd_obs.Json.Float seconds);
+               ]
+             tel))
+
+let churn_cmd =
+  let horizon_arg =
+    Arg.(value & opt float 50.0 & info [ "horizon" ] ~doc:"Virtual-time horizon")
+  in
+  let interarrival_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interarrival" ] ~doc:"Mean flow inter-arrival time")
+  in
+  let lifetime_arg =
+    Arg.(value & opt float 10.0 & info [ "lifetime" ] ~doc:"Mean flow lifetime")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Replay a generated arrival/departure trace through the churn engine")
+    Term.(
+      const churn $ topology_arg $ size_arg $ k_arg $ lambda_arg $ density_arg
+      $ seed_arg $ horizon_arg $ interarrival_arg $ lifetime_arg $ trace_arg
+      $ metrics_out_arg)
+
 let () =
   let info =
     Cmd.info "tdmd-cli" ~version:"1.0.0"
       ~doc:"Traffic-diminishing middlebox placement (ICPP 2020 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ solve_cmd; figures_cmd; dot_cmd; stats_cmd; svg_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd;
+            figures_cmd;
+            dot_cmd;
+            stats_cmd;
+            svg_cmd;
+            serve_cmd;
+            client_cmd;
+            churn_cmd;
+          ]))

@@ -198,4 +198,18 @@ let on_tree name =
     find_general name
     |> Option.map (fun f ~rng ~k inst -> f ~rng ~k (Instance.Tree.to_general inst))
 
-let names = List.map fst general @ List.map fst tree
+let general_names = List.map fst general
+let tree_names = List.map fst tree
+let names = general_names @ tree_names
+
+let describe_unknown ?(tree_input = false) name =
+  if (not tree_input) && List.mem name tree_names then
+    Printf.sprintf
+      "%S solves tree instances only (run it against a tree topology); \
+       solvers available here: %s"
+      name
+      (String.concat " | " general_names)
+  else
+    Printf.sprintf "unknown algorithm %S (general: %s; tree-only: %s)" name
+      (String.concat " | " general_names)
+      (String.concat " | " tree_names)

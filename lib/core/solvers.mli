@@ -46,3 +46,14 @@ val on_tree : string -> tree_solver option
 val names : string list
 (** All registry names: tree-only solvers last, as in [--algo]'s
     documentation. *)
+
+val general_names : string list
+val tree_names : string list
+
+val describe_unknown : ?tree_input:bool -> string -> string
+(** Diagnostic for a name that failed to resolve, listing what the
+    registry does offer.  With [~tree_input:false] (the default) a
+    name that {e is} registered — but only for trees — yields a message
+    explaining the topology restriction instead of claiming the name is
+    unknown.  Shared by the CLI and the serving layer so every surface
+    reports the same registry. *)

@@ -39,3 +39,74 @@ let map ?(domains = 1) f xs =
     Array.to_list (Array.map Option.get results)
 
 let iter ?domains f xs = ignore (map ?domains (fun x -> f x) xs)
+
+module Pool = struct
+  type t = {
+    jobs : (unit -> unit) Queue.t;
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    capacity : int;
+    on_error : exn -> unit;
+    mutable accepting : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  let worker t () =
+    let rec loop () =
+      Mutex.lock t.mutex;
+      while Queue.is_empty t.jobs && t.accepting do
+        Condition.wait t.nonempty t.mutex
+      done;
+      (* Drain mode: keep executing whatever is still queued, exit only
+         once the queue is empty. *)
+      if Queue.is_empty t.jobs then Mutex.unlock t.mutex
+      else begin
+        let job = Queue.pop t.jobs in
+        Mutex.unlock t.mutex;
+        (try job () with e -> t.on_error e);
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ?(on_error = fun _ -> ()) ~domains ~capacity () =
+    if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+    if capacity < 1 then invalid_arg "Pool.create: capacity must be >= 1";
+    let t =
+      {
+        jobs = Queue.create ();
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        capacity;
+        on_error;
+        accepting = true;
+        workers = [];
+      }
+    in
+    t.workers <- List.init domains (fun _ -> Domain.spawn (worker t));
+    t
+
+  let submit t job =
+    Mutex.lock t.mutex;
+    let ok = t.accepting && Queue.length t.jobs < t.capacity in
+    if ok then begin
+      Queue.push job t.jobs;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.mutex;
+    ok
+
+  let queue_depth t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.jobs in
+    Mutex.unlock t.mutex;
+    n
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.accepting <- false;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+end

@@ -19,3 +19,35 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     the caller after all domains join. *)
 
 val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+
+(** Long-lived worker pool with a bounded job queue.
+
+    Unlike {!map} (fork/join over a fixed task list), a [Pool.t] keeps
+    its domains alive and accepts jobs one at a time — the shape a
+    request-serving daemon needs.  The queue is bounded: {!Pool.submit}
+    never blocks, it {e rejects} when the queue is full, which is the
+    backpressure signal ([tdmd.server] turns it into a 503-style
+    response).  Jobs are [unit -> unit] thunks and must do their own
+    result delivery; exceptions escaping a job are routed to the pool's
+    [on_error] callback (default: swallowed) and never kill a worker. *)
+module Pool : sig
+  type t
+
+  val create :
+    ?on_error:(exn -> unit) -> domains:int -> capacity:int -> unit -> t
+  (** Spawn [domains] worker domains sharing one FIFO queue holding at
+      most [capacity] pending jobs (jobs being executed do not count).
+      @raise Invalid_argument when [domains < 1] or [capacity < 1]. *)
+
+  val submit : t -> (unit -> unit) -> bool
+  (** Enqueue a job; [false] when the queue is at capacity or the pool
+      is shutting down (the job is dropped — the caller owns the
+      rejection path). *)
+
+  val queue_depth : t -> int
+  (** Jobs enqueued and not yet picked up by a worker. *)
+
+  val shutdown : t -> unit
+  (** Graceful drain: stop accepting, let workers finish every job
+      already queued, then join them.  Idempotent. *)
+end

@@ -1,0 +1,53 @@
+module Json = Tdmd_obs.Json
+
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let connect addr =
+  let domain =
+    match addr with
+    | Protocol.Unix_sock _ -> Unix.PF_UNIX
+    | Protocol.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Protocol.sockaddr addr)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; open_ = true }
+
+let connect_retry ?(attempts = 50) ?(delay = 0.1) addr =
+  let rec go n =
+    match connect addr with
+    | c -> Ok c
+    | exception (Unix.Unix_error _ as e) ->
+      if n <= 1 then Error (Printexc.to_string e)
+      else begin
+        Thread.delay delay;
+        go (n - 1)
+      end
+  in
+  go (max 1 attempts)
+
+let rpc_json t json =
+  if not t.open_ then Error "client is closed"
+  else begin
+    match Protocol.write_frame t.fd json with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error ("write: " ^ Unix.error_message err)
+    | () -> (
+      match Protocol.read_frame t.fd with
+      | Ok v -> Ok v
+      | Error `Eof -> Error "connection closed by server"
+      | Error (`Bad msg) -> Error msg
+      | exception Unix.Unix_error (err, _, _) ->
+        Error ("read: " ^ Unix.error_message err))
+  end
+
+let rpc t ?id ?deadline_ms request =
+  rpc_json t (Protocol.request_to_json ?id ?deadline_ms request)
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

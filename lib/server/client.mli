@@ -1,0 +1,30 @@
+(** Blocking client for the placement service.
+
+    One connection, closed-loop: {!rpc} writes a frame and blocks until
+    the matching response frame arrives.  For concurrent load, open one
+    client per thread (the bench and the integration tests do exactly
+    that). *)
+
+type t
+
+val connect : Protocol.addr -> t
+(** @raise Unix.Unix_error when nothing listens at the address. *)
+
+val connect_retry : ?attempts:int -> ?delay:float -> Protocol.addr -> (t, string) result
+(** Retry [connect] (default 50 × 0.1 s) — for scripts racing a server
+    that is still binding its socket. *)
+
+val rpc :
+  t ->
+  ?id:Protocol.Json.t ->
+  ?deadline_ms:int ->
+  Protocol.request ->
+  (Protocol.Json.t, string) result
+(** Send one request and read one response (any well-formed response
+    object is [Ok], including ["ok": false] errors — transport-level
+    failures are [Error]). *)
+
+val rpc_json : t -> Protocol.Json.t -> (Protocol.Json.t, string) result
+(** Raw variant: send an arbitrary JSON value as the request frame. *)
+
+val close : t -> unit

@@ -1,0 +1,353 @@
+module Json = Tdmd_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Addresses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  let prefix p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefix "unix:" then Ok (Unix_sock (after "unix:"))
+  else if prefix "tcp:" then begin
+    match String.rindex_opt (after "tcp:") ':' with
+    | None -> Error "tcp address must be tcp:HOST:PORT"
+    | Some i ->
+      let hp = after "tcp:" in
+      let host = String.sub hp 0 i in
+      let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+      (match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "bad port %S" port))
+  end
+  else if s = "" then Error "empty address"
+  else Ok (Unix_sock s)
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+        | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+    in
+    Unix.ADDR_INET (ip, port)
+
+(* ------------------------------------------------------------------ *)
+(* Framing: 4-byte big-endian length + JSON payload                    *)
+(* ------------------------------------------------------------------ *)
+
+let max_frame = 16 * 1024 * 1024
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd bytes !off (len - !off) in
+    off := !off + n
+  done
+
+let write_frame fd json =
+  let payload = Bytes.of_string (Json.to_string json) in
+  let len = Bytes.length payload in
+  let frame = Bytes.create (4 + len) in
+  Bytes.set_uint8 frame 0 ((len lsr 24) land 0xff);
+  Bytes.set_uint8 frame 1 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 frame 2 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 frame 3 (len land 0xff);
+  Bytes.blit payload 0 frame 4 len;
+  (* One write for the whole frame: responses from different worker
+     domains interleave at frame granularity under the connection's
+     write lock, never inside a frame. *)
+  write_all fd frame
+
+(* [`Eof] only when the stream ends cleanly *between* frames; anything
+   truncated mid-frame is [`Bad]. *)
+let read_exact fd n ~clean_eof =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off >= n then Ok buf
+    else begin
+      match Unix.read fd buf off (n - off) with
+      | 0 -> if off = 0 && clean_eof then Error `Eof else Error (`Bad "truncated frame")
+      | r -> go (off + r)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+let read_frame fd =
+  match read_exact fd 4 ~clean_eof:true with
+  | Error _ as e -> e
+  | Ok hdr ->
+    let len =
+      (Bytes.get_uint8 hdr 0 lsl 24)
+      lor (Bytes.get_uint8 hdr 1 lsl 16)
+      lor (Bytes.get_uint8 hdr 2 lsl 8)
+      lor Bytes.get_uint8 hdr 3
+    in
+    if len > max_frame then Error (`Bad (Printf.sprintf "frame of %d bytes exceeds limit" len))
+    else begin
+      match read_exact fd len ~clean_eof:false with
+      | Error `Eof -> Error (`Bad "truncated frame")
+      | Error (`Bad _) as e -> e
+      | Ok payload -> (
+        match Json.of_string (Bytes.to_string payload) with
+        | Ok v -> Ok v
+        | Error msg -> Error (`Bad ("invalid JSON payload: " ^ msg)))
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type solve_target = Static | Live
+
+type request =
+  | Ping
+  | Sleep of int
+  | Solve of { algo : string; k : int; seed : int; target : solve_target }
+  | Arrive of { id : int; rate : int; path : int list }
+  | Depart of int
+  | Stats
+  | Shutdown
+
+type envelope = {
+  id : Json.t option;
+  deadline_ms : int option;
+  request : request;
+}
+
+let request_to_json ?id ?deadline_ms request =
+  let base =
+    match request with
+    | Ping -> [ ("op", Json.String "ping") ]
+    | Sleep ms -> [ ("op", Json.String "sleep"); ("ms", Json.Int ms) ]
+    | Solve { algo; k; seed; target } ->
+      [
+        ("op", Json.String "solve");
+        ("algo", Json.String algo);
+        ("k", Json.Int k);
+        ("seed", Json.Int seed);
+        ("on", Json.String (match target with Static -> "static" | Live -> "live"));
+      ]
+    | Arrive { id; rate; path } ->
+      [
+        ("op", Json.String "arrive");
+        ( "flow",
+          Json.Obj
+            [
+              ("id", Json.Int id);
+              ("rate", Json.Int rate);
+              ("path", Json.List (List.map (fun v -> Json.Int v) path));
+            ] );
+      ]
+    | Depart id -> [ ("op", Json.String "depart"); ("flow_id", Json.Int id) ]
+    | Stats -> [ ("op", Json.String "stats") ]
+    | Shutdown -> [ ("op", Json.String "shutdown") ]
+  in
+  let envelope =
+    (match id with Some v -> [ ("id", v) ] | None -> [])
+    @ (match deadline_ms with Some d -> [ ("deadline_ms", Json.Int d) ] | None -> [])
+  in
+  Json.Obj (base @ envelope)
+
+let int_field json name =
+  match Json.member name json with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field_opt json name ~default =
+  match Json.member name json with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> Ok default
+
+let string_field json name =
+  match Json.member name json with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let parse_request json =
+  let* op = string_field json "op" in
+  match op with
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | "sleep" ->
+    let* ms = int_field json "ms" in
+    if ms < 0 then Error "sleep: ms must be >= 0" else Ok (Sleep ms)
+  | "solve" ->
+    let* algo = string_field json "algo" in
+    let* k = int_field json "k" in
+    let* seed = int_field_opt json "seed" ~default:0 in
+    let* target =
+      match Json.member "on" json with
+      | None | Some (Json.String "static") -> Ok Static
+      | Some (Json.String "live") -> Ok Live
+      | Some _ -> Error "field \"on\" must be \"static\" or \"live\""
+    in
+    if k < 1 then Error "solve: k must be >= 1"
+    else Ok (Solve { algo; k; seed; target })
+  | "arrive" -> (
+    match Json.member "flow" json with
+    | Some flow ->
+      let* id = int_field flow "id" in
+      let* rate = int_field flow "rate" in
+      let* path =
+        match Json.member "path" flow with
+        | Some (Json.List vs) ->
+          List.fold_right
+            (fun v acc ->
+              let* acc = acc in
+              match v with
+              | Json.Int i -> Ok (i :: acc)
+              | _ -> Error "flow path must be a list of integers")
+            vs (Ok [])
+        | _ -> Error "missing flow field \"path\""
+      in
+      Ok (Arrive { id; rate; path })
+    | None -> Error "missing field \"flow\"")
+  | "depart" ->
+    let* id = int_field json "flow_id" in
+    Ok (Depart id)
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+let request_of_json json =
+  match json with
+  | Json.Obj _ ->
+    let* request = parse_request json in
+    let* deadline_ms =
+      match Json.member "deadline_ms" json with
+      | None -> Ok None
+      | Some (Json.Int d) when d >= 0 -> Ok (Some d)
+      | Some _ -> Error "field \"deadline_ms\" must be a non-negative integer"
+    in
+    Ok { id = Json.member "id" json; deadline_ms; request }
+  | _ -> Error "request must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let id_field = function Some v -> [ ("id", v) ] | None -> []
+
+let ok ?id fields = Json.Obj ((("ok", Json.Bool true) :: id_field id) @ fields)
+
+let error ?id ~code msg =
+  Json.Obj
+    ((("ok", Json.Bool false) :: id_field id)
+    @ [ ("code", Json.String code); ("error", Json.String msg) ])
+
+(* ------------------------------------------------------------------ *)
+(* Instance codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let instance_to_json (inst : Tdmd.Instance.t) =
+  let g = inst.Tdmd.Instance.graph in
+  let edges =
+    List.map
+      (fun { Tdmd_graph.Digraph.src; dst; _ } ->
+        Json.List [ Json.Int src; Json.Int dst ])
+      (Tdmd_graph.Digraph.edges g)
+  in
+  let flows =
+    List.map
+      (fun (f : Tdmd_flow.Flow.t) ->
+        Json.Obj
+          [
+            ("id", Json.Int f.Tdmd_flow.Flow.id);
+            ("rate", Json.Int f.Tdmd_flow.Flow.rate);
+            ( "path",
+              Json.List
+                (Array.to_list
+                   (Array.map (fun v -> Json.Int v) f.Tdmd_flow.Flow.path)) );
+          ])
+      (Tdmd.Instance.flows inst)
+  in
+  Json.Obj
+    [
+      ("lambda", Json.Float inst.Tdmd.Instance.lambda);
+      ("vertices", Json.Int (Tdmd_graph.Digraph.vertex_count g));
+      ("undirected", Json.Bool false);
+      ("edges", Json.List edges);
+      ("flows", Json.List flows);
+    ]
+
+let instance_of_json json =
+  let* lambda =
+    match Json.member "lambda" json with
+    | Some v -> (
+      match Json.to_float v with
+      | Some x -> Ok x
+      | None -> Error "field \"lambda\" must be a number")
+    | None -> Error "missing field \"lambda\""
+  in
+  let* n = int_field json "vertices" in
+  if n < 1 then Error "field \"vertices\" must be >= 1"
+  else begin
+    let undirected =
+      match Json.member "undirected" json with
+      | Some (Json.Bool b) -> b
+      | _ -> true
+    in
+    let g = Tdmd_graph.Digraph.create n in
+    let* () =
+      match Json.member "edges" json with
+      | Some (Json.List es) ->
+        List.fold_left
+          (fun acc e ->
+            let* () = acc in
+            match e with
+            | Json.List [ Json.Int u; Json.Int v ]
+              when u >= 0 && u < n && v >= 0 && v < n && u <> v ->
+              (try
+                 if undirected then Tdmd_graph.Digraph.add_undirected g u v
+                 else Tdmd_graph.Digraph.add_edge g u v;
+                 Ok ()
+               with Invalid_argument msg -> Error msg)
+            | _ -> Error "each edge must be [u, v] with valid vertex ids")
+          (Ok ()) es
+      | _ -> Error "missing field \"edges\""
+    in
+    let* flows =
+      match Json.member "flows" json with
+      | Some (Json.List fs) ->
+        List.fold_right
+          (fun f acc ->
+            let* acc = acc in
+            let* id = int_field f "id" in
+            let* rate = int_field f "rate" in
+            let* path =
+              match Json.member "path" f with
+              | Some (Json.List vs) ->
+                List.fold_right
+                  (fun v tail ->
+                    let* tail = tail in
+                    match v with
+                    | Json.Int i -> Ok (i :: tail)
+                    | _ -> Error "flow path must be a list of integers")
+                  vs (Ok [])
+              | _ -> Error "missing flow field \"path\""
+            in
+            match Tdmd_flow.Flow.make ~id ~rate ~path with
+            | f -> Ok (f :: acc)
+            | exception Invalid_argument msg -> Error msg)
+          fs (Ok [])
+      | _ -> Error "missing field \"flows\""
+    in
+    match Tdmd.Instance.make ~graph:g ~flows ~lambda with
+    | inst -> Ok inst
+    | exception Invalid_argument msg -> Error msg
+  end

@@ -1,0 +1,95 @@
+(** Wire protocol of the placement service.
+
+    Transport: a byte stream (Unix-domain or TCP socket) carrying
+    {e length-prefixed JSON} frames — a 4-byte big-endian unsigned
+    payload length followed by exactly that many bytes of UTF-8 JSON
+    ({!Tdmd_obs.Json}).  Both directions use the same framing; one
+    request frame yields exactly one response frame, in order, so a
+    closed-loop client can simply alternate write/read.
+
+    Requests are objects with an ["op"] field plus op-specific
+    arguments and two optional envelope fields: ["id"] (any JSON value,
+    echoed verbatim in the response) and ["deadline_ms"] (queueing
+    budget; requests still waiting when it expires are answered with a
+    ["deadline"] error instead of being executed).
+
+    Responses are objects with ["ok": true] and op-specific fields, or
+    ["ok": false] with ["code"] (machine-readable, see {!section:codes})
+    and ["error"] (human-readable). *)
+
+module Json = Tdmd_obs.Json
+
+(** {1 Addresses} *)
+
+type addr =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port *)
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:PATH"], ["tcp:HOST:PORT"], or a bare filesystem path
+    (treated as [Unix_sock]). *)
+
+val addr_to_string : addr -> string
+val sockaddr : addr -> Unix.sockaddr
+
+(** {1 Framing} *)
+
+val max_frame : int
+(** Refuse frames larger than this (16 MiB) — a corrupt or hostile
+    length prefix must not allocate unboundedly. *)
+
+val write_frame : Unix.file_descr -> Json.t -> unit
+(** Serialize and send one frame.  @raise Unix.Unix_error on transport
+    failure (e.g. the peer is gone). *)
+
+val read_frame : Unix.file_descr -> (Json.t, [ `Eof | `Bad of string ]) result
+(** Read one frame.  [`Eof] on clean close before a length prefix;
+    [`Bad _] on truncation, oversized lengths or invalid JSON. *)
+
+(** {1 Requests} *)
+
+type solve_target =
+  | Static  (** the instance loaded at session start *)
+  | Live    (** the churn engine's current flow set *)
+
+type request =
+  | Ping
+  | Sleep of int  (** milliseconds; a load/test aid that occupies a worker *)
+  | Solve of { algo : string; k : int; seed : int; target : solve_target }
+  | Arrive of { id : int; rate : int; path : int list }
+  | Depart of int
+  | Stats
+  | Shutdown
+
+type envelope = {
+  id : Json.t option;
+  deadline_ms : int option;
+  request : request;
+}
+
+val request_to_json : ?id:Json.t -> ?deadline_ms:int -> request -> Json.t
+val request_of_json : Json.t -> (envelope, string) result
+
+(** {1:codes Responses} *)
+
+val ok : ?id:Json.t -> (string * Json.t) list -> Json.t
+(** [{"ok": true, "id": id?, ...fields}]. *)
+
+val error : ?id:Json.t -> code:string -> string -> Json.t
+(** [{"ok": false, "id": id?, "code": code, "error": msg}].  Codes in
+    use: ["bad-request"] (unparseable frame / unknown op / invalid
+    arguments), ["unknown-algo"] (name not in the registry; the message
+    lists the registry), ["overloaded"] (bounded queue full — retry
+    later), ["deadline"] (queueing budget expired before execution),
+    ["shutting-down"] (server is draining), ["conflict"] (e.g.
+    duplicate flow id). *)
+
+(** {1 Instance codec}
+
+    Inline instances for [serve --instance]: an object with ["lambda"],
+    ["vertices"] (vertex count), ["edges"] ([[u,v], ...]) and ["flows"]
+    ([{"id","rate","path"}, ...]).  ["undirected"] (default [true])
+    controls whether each edge pair adds both arcs. *)
+
+val instance_to_json : Tdmd.Instance.t -> Json.t
+val instance_of_json : Json.t -> (Tdmd.Instance.t, string) result

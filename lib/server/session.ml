@@ -1,0 +1,122 @@
+module Json = Tdmd_obs.Json
+
+type t = {
+  tree : Tdmd.Instance.Tree.t option;
+  general : Tdmd.Instance.t;
+  churn : Tdmd.Incremental.t;
+  lock : Mutex.t;
+}
+
+let make ~churn_k tree general =
+  {
+    tree;
+    general;
+    churn =
+      Tdmd.Incremental.create ~graph:general.Tdmd.Instance.graph
+        ~lambda:general.Tdmd.Instance.lambda ~k:churn_k;
+    lock = Mutex.create ();
+  }
+
+let of_general ~churn_k inst = make ~churn_k None inst
+
+let of_tree ~churn_k tree =
+  make ~churn_k (Some tree) (Tdmd.Instance.Tree.to_general tree)
+
+let general t = t.general
+
+type reply = (Json.t, string * string) result
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let outcome_fields ~algo ~k ~seed ~target
+    { Tdmd.Solver_intf.placement; bandwidth; feasible; telemetry } =
+  [
+    ("algo", Json.String algo);
+    ("k", Json.Int k);
+    ("seed", Json.Int seed);
+    ( "on",
+      Json.String
+        (match target with Protocol.Static -> "static" | Protocol.Live -> "live") );
+    ( "placement",
+      Json.List
+        (List.map (fun v -> Json.Int v) (Tdmd.Placement.to_list placement)) );
+    ("bandwidth", Json.Float bandwidth);
+    ("feasible", Json.Bool feasible);
+    ("telemetry", Tdmd_obs.Telemetry.to_json telemetry);
+  ]
+
+let solve t ~algo ~k ~seed ~target =
+  let rng = Tdmd_prelude.Rng.create seed in
+  let run =
+    match target with
+    | Protocol.Static -> (
+      match t.tree with
+      | Some tree_inst -> (
+        match Tdmd.Solvers.on_tree algo with
+        | Some f -> Ok (fun () -> f ~rng ~k tree_inst)
+        | None -> Error (Tdmd.Solvers.describe_unknown ~tree_input:true algo))
+      | None -> (
+        match Tdmd.Solvers.find_general algo with
+        | Some f -> Ok (fun () -> f ~rng ~k t.general)
+        | None -> Error (Tdmd.Solvers.describe_unknown algo)))
+    | Protocol.Live -> (
+      match Tdmd.Solvers.find_general algo with
+      | Some f ->
+        (* Snapshot under the lock, solve outside it. *)
+        let snapshot = locked t (fun () -> Tdmd.Incremental.instance t.churn) in
+        Ok (fun () -> f ~rng ~k snapshot)
+      | None -> Error (Tdmd.Solvers.describe_unknown algo))
+  in
+  match run with
+  | Error msg -> Error ("unknown-algo", msg)
+  | Ok run -> (
+    match run () with
+    | outcome -> Ok (Json.Obj (outcome_fields ~algo ~k ~seed ~target outcome))
+    | exception Invalid_argument msg -> Error ("bad-request", msg)
+    | exception Failure msg -> Error ("bad-request", msg))
+
+let churn_fields_unlocked t =
+  let placement = Tdmd.Incremental.placement t.churn in
+  [
+    ("flows", Json.Int (List.length (Tdmd.Incremental.flows t.churn)));
+    ( "placement",
+      Json.List
+        (List.map (fun v -> Json.Int v) (Tdmd.Placement.to_list placement)) );
+    ("bandwidth", Json.Float (Tdmd.Incremental.bandwidth t.churn));
+    ("feasible", Json.Bool (Tdmd.Incremental.feasible t.churn));
+    ("moves", Json.Int (Tdmd.Incremental.moves t.churn));
+    ( "arrivals",
+      Json.Int
+        (Tdmd_obs.Telemetry.get_count (Tdmd.Incremental.telemetry t.churn)
+           "arrivals") );
+    ( "departures",
+      Json.Int
+        (Tdmd_obs.Telemetry.get_count (Tdmd.Incremental.telemetry t.churn)
+           "departures") );
+  ]
+
+let churn_stats t = locked t (fun () -> churn_fields_unlocked t)
+
+let arrive t ~id ~rate ~path =
+  match Tdmd_flow.Flow.make ~id ~rate ~path with
+  | exception Invalid_argument msg -> Error ("bad-request", msg)
+  | flow ->
+    locked t (fun () ->
+        if
+          List.exists
+            (fun (f : Tdmd_flow.Flow.t) -> f.Tdmd_flow.Flow.id = id)
+            (Tdmd.Incremental.flows t.churn)
+        then Error ("conflict", Printf.sprintf "flow %d is already active" id)
+        else begin
+          match Tdmd.Incremental.arrive t.churn flow with
+          | () ->
+            Ok (Json.Obj (("op", Json.String "arrive") :: churn_fields_unlocked t))
+          | exception Invalid_argument msg -> Error ("bad-request", msg)
+        end)
+
+let depart t id =
+  locked t (fun () ->
+      Tdmd.Incremental.depart t.churn id;
+      Ok (Json.Obj (("op", Json.String "depart") :: churn_fields_unlocked t)))

@@ -1,0 +1,47 @@
+(** Server-side session: one loaded instance, many requests.
+
+    A session pins the data every request runs against: the static
+    instance loaded at startup (tree or general) and a churn engine
+    ({!Tdmd.Incremental}) over the same graph that [arrive]/[depart]
+    mutate.  All mutating and snapshot-taking operations are serialized
+    behind an internal mutex, so session methods may be called from any
+    worker domain; [solve] releases the lock before running the solver,
+    so long solves never block churn. *)
+
+type t
+
+val of_general : churn_k:int -> Tdmd.Instance.t -> t
+(** Serve a general instance: tree-only solvers are refused with a
+    registry listing. *)
+
+val of_tree : churn_k:int -> Tdmd.Instance.Tree.t -> t
+(** Serve a tree instance: every registry name resolves (general
+    solvers see the {!Tdmd.Instance.Tree.to_general} view). *)
+
+val general : t -> Tdmd.Instance.t
+(** The static instance's general view (used by tests and the bench to
+    cross-check server answers against direct registry calls). *)
+
+type reply = (Protocol.Json.t, string * string) result
+(** [Ok response_obj] or [Error (code, message)] in the sense of
+    {!Protocol.error}. *)
+
+val solve :
+  t -> algo:string -> k:int -> seed:int -> target:Protocol.solve_target -> reply
+(** Dispatch by registry name with [Rng.create seed] — the answer is
+    bit-identical to calling the registry directly with the same seed.
+    Response fields: ["algo"], ["k"], ["seed"], ["on"], ["placement"]
+    (sorted vertex list), ["bandwidth"], ["feasible"], ["telemetry"]. *)
+
+val arrive : t -> id:int -> rate:int -> path:int list -> reply
+(** Feed one arrival to the churn engine.  ["conflict"] on duplicate
+    flow ids, ["bad-request"] on paths not in the graph.  Response
+    carries the post-event deployment summary (see {!churn_stats}). *)
+
+val depart : t -> int -> reply
+(** Feed one departure (unknown ids are a no-op, as in
+    {!Tdmd.Incremental.depart}). *)
+
+val churn_stats : t -> (string * Protocol.Json.t) list
+(** ["flows"], ["placement"], ["bandwidth"], ["feasible"], ["moves"],
+    ["arrivals"], ["departures"] of the churn engine, under the lock. *)

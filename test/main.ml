@@ -20,5 +20,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("netsim-chain", Test_netsim_chain.suite);
       ("sim", Test_sim.suite);
+      ("server", Test_server.suite);
       ("experiments", Test_experiments.suite);
     ]

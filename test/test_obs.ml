@@ -87,6 +87,80 @@ let test_json_roundtrip () =
     Alcotest.(check bool) "whole floats stay floats" true
       (Json.member "whole" v' = Some (Json.Float 3.0))
 
+(* print ∘ parse = id over random JSON trees.  NaN/infinite floats are
+   excluded by construction: they deliberately emit as [null] (JSON has
+   no spelling for them), the one documented lossy case. *)
+let json_arbitrary =
+  let open QCheck.Gen in
+  let any_string = string_size ~gen:char (int_bound 12) in
+  let finite_float =
+    oneof
+      [
+        oneofl
+          [ 0.0; -0.0; 1.0; -1.5; 0.1; 1e-300; 1e300; Float.max_float;
+            Float.min_float; 4.0 /. 3.0 ];
+        map (fun f -> if Float.is_finite f then f else 0.0) float;
+      ]
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) finite_float;
+        map (fun s -> Json.String s) any_string;
+      ]
+  in
+  let tree =
+    fix
+      (fun self n ->
+        if n <= 0 then scalar
+        else
+          frequency
+            [
+              (3, scalar);
+              (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2))));
+              ( 1,
+                map
+                  (fun l -> Json.Obj l)
+                  (list_size (int_bound 4)
+                     (pair any_string (self (n / 2)))) );
+            ])
+      8
+  in
+  QCheck.make ~print:Json.to_string tree
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"json: print ∘ parse = id" ~count:500 json_arbitrary
+    (fun v -> Json.of_string (Json.to_string v) = Ok v)
+
+let test_json_escapes () =
+  (* Control characters escape as \uXXXX and survive the round trip. *)
+  let controls = String.init 0x20 Char.chr in
+  Alcotest.(check bool) "control chars round-trip" true
+    (Json.of_string (Json.to_string (Json.String controls))
+    = Ok (Json.String controls));
+  Alcotest.(check string) "low codes use \\u form" {|"\u0001"|}
+    (Json.to_string (Json.String "\x01"));
+  (* \uXXXX decodes to UTF-8, including astral plane surrogate pairs. *)
+  Alcotest.(check bool) "\\u0041 is A" true
+    (Json.of_string {|"\u0041\u00e9"|} = Ok (Json.String "A\xc3\xa9"));
+  Alcotest.(check bool) "surrogate pair decodes" true
+    (Json.of_string {|"\ud83d\ude00"|} = Ok (Json.String "\xf0\x9f\x98\x80"));
+  (* Number edge cases: exponents are floats, bare digits are ints. *)
+  Alcotest.(check bool) "1e3 is a float" true
+    (Json.of_string "1e3" = Ok (Json.Float 1000.0));
+  Alcotest.(check bool) "-12 is an int" true
+    (Json.of_string "-12" = Ok (Json.Int (-12)));
+  Alcotest.(check bool) "max_int round-trips" true
+    (Json.of_string (Json.to_string (Json.Int max_int)) = Ok (Json.Int max_int));
+  (* The documented lossy case: non-finite floats emit as null. *)
+  Alcotest.(check string) "infinity emits null" "null"
+    (Json.to_string (Json.Float infinity));
+  Alcotest.(check string) "nan emits null" "null"
+    (Json.to_string (Json.Float Float.nan))
+
 let test_sink_jsonl () =
   let tel = Tel.create () in
   Tel.count tel "oracle_calls" 9;
@@ -133,5 +207,7 @@ let suite =
       test_span_closes_on_raise;
     Alcotest.test_case "telemetry: merge" `Quick test_merge;
     Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    Alcotest.test_case "json: escapes and number edges" `Quick test_json_escapes;
     Alcotest.test_case "sink: JSON-lines records" `Quick test_sink_jsonl;
   ]

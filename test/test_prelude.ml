@@ -99,7 +99,7 @@ let test_timer () =
   Alcotest.(check bool) "non-negative" true (dt >= 0.0)
 
 let test_histogram () =
-  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 () in
   List.iter (Histogram.add h) [ 0.5; 1.0; 2.5; 9.9; 15.0; -3.0 ];
   Alcotest.(check int) "count" 6 (Histogram.count h);
   (* 15.0 clamps into the last bin, -3.0 into the first. *)
@@ -110,7 +110,76 @@ let test_histogram () =
   Alcotest.(check bool) "renders" true (String.length (Histogram.render h) > 0);
   Alcotest.check_raises "bad bins"
     (Invalid_argument "Histogram.create: bins must be positive") (fun () ->
-      ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0))
+      ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0 ()))
+
+let test_log_histogram () =
+  let h = Histogram.create ~scale:Histogram.Log ~lo:1.0 ~hi:1000.0 ~bins:3 () in
+  let edges = Histogram.bin_edges h in
+  (* Geometric bins: decade boundaries. *)
+  Alcotest.(check (float 1e-9)) "first upper edge" 10.0 (snd edges.(0));
+  Alcotest.(check (float 1e-9)) "second upper edge" 100.0 (snd edges.(1));
+  List.iter (Histogram.add h) [ 2.0; 5.0; 50.0; 500.0; 0.1; 5000.0 ];
+  (* Out-of-range samples clamp like in the linear case. *)
+  Alcotest.(check (array int)) "bins" [| 3; 1; 2 |] (Histogram.bin_counts h);
+  Alcotest.check_raises "log scale needs lo > 0"
+    (Invalid_argument "Histogram.create: log scale needs lo > 0") (fun () ->
+      ignore (Histogram.create ~scale:Histogram.Log ~lo:0.0 ~hi:1.0 ~bins:4 ()))
+
+let test_histogram_percentile () =
+  let h = Histogram.create ~lo:0.0 ~hi:100.0 ~bins:100 () in
+  Alcotest.(check bool) "empty is nan" true
+    (Float.is_nan (Histogram.percentile h 0.5));
+  for i = 1 to 100 do
+    Histogram.add h (float_of_int i -. 0.5)
+  done;
+  (* One sample per unit bin, so any percentile is exact to a bin
+     width. *)
+  Alcotest.(check (float 1.0)) "median" 50.0 (Histogram.percentile h 0.5);
+  Alcotest.(check (float 1.0)) "p95" 95.0 (Histogram.percentile h 0.95);
+  Alcotest.(check (float 1.0)) "p0 hits the low edge" 0.0
+    (Histogram.percentile h 0.0);
+  Alcotest.(check (float 1.0)) "p100 hits the high edge" 100.0
+    (Histogram.percentile h 1.0)
+
+let test_pool () =
+  (* Happy path: every accepted job runs exactly once before shutdown
+     returns. *)
+  let pool = Parallel.Pool.create ~domains:2 ~capacity:64 () in
+  let ran = Atomic.make 0 in
+  let accepted = ref 0 in
+  for _ = 1 to 20 do
+    if Parallel.Pool.submit pool (fun () -> Atomic.incr ran) then incr accepted
+  done;
+  Parallel.Pool.shutdown pool;
+  Alcotest.(check int) "all accepted jobs ran" !accepted (Atomic.get ran);
+  Alcotest.(check bool) "submit after shutdown refused" false
+    (Parallel.Pool.submit pool (fun () -> ()));
+  (* Backpressure: one worker pinned, capacity-1 queue filled, the next
+     submit must bounce instead of blocking. *)
+  let pool = Parallel.Pool.create ~domains:1 ~capacity:1 () in
+  let release = Atomic.make false in
+  let pinned =
+    Parallel.Pool.submit pool (fun () ->
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done)
+  in
+  Alcotest.(check bool) "blocker accepted" true pinned;
+  (* Wait until the worker has dequeued the blocker so the queue state
+     is deterministic. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Parallel.Pool.queue_depth pool > 0 && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "filler accepted" true
+    (Parallel.Pool.submit pool (fun () -> ()));
+  Alcotest.(check bool) "full queue rejects" false
+    (Parallel.Pool.submit pool (fun () -> ()));
+  Alcotest.(check int) "rejected job not queued" 1
+    (Parallel.Pool.queue_depth pool);
+  Atomic.set release true;
+  Parallel.Pool.shutdown pool;
+  Alcotest.(check int) "drained" 0 (Parallel.Pool.queue_depth pool)
 
 let test_parallel_map () =
   let xs = List.init 100 (fun i -> i) in
@@ -138,6 +207,9 @@ let suite =
     Alcotest.test_case "parallel: exception propagation" `Quick
       test_parallel_exceptions;
     Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram: log bins" `Quick test_log_histogram;
+    Alcotest.test_case "histogram: percentiles" `Quick test_histogram_percentile;
+    Alcotest.test_case "parallel: worker pool" `Quick test_pool;
     Alcotest.test_case "rng: determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
     Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
