@@ -466,6 +466,158 @@ let serve_bench () =
   Printf.printf "\nwrote %s (%d concurrency levels)\n" serve_json_path
     (List.length levels)
 
+(* ------------------------------------------------------------------ *)
+(* Recover bench: WAL append cost per fsync policy, replay throughput  *)
+(* ------------------------------------------------------------------ *)
+
+(* For each fsync policy: drive a deterministic churn workload through
+   a durable session, abandon it without closing (the crash), then time
+   Session.recover — snapshot parse + full journal replay.  One
+   JSON-lines record per policy lands in BENCH_recover.json (path
+   overridable with TDMD_BENCH_RECOVER_JSON; TDMD_BENCH_RECOVER_QUICK=1
+   shrinks the op count for CI smoke). *)
+let recover_json_path =
+  match Sys.getenv_opt "TDMD_BENCH_RECOVER_JSON" with
+  | Some p -> p
+  | None -> "BENCH_recover.json"
+
+let recover_quick = Sys.getenv_opt "TDMD_BENCH_RECOVER_QUICK" <> None
+
+let recover_bench () =
+  let open Tdmd_prelude in
+  let module S = Tdmd_server.Session in
+  let module J = Tdmd_server.Journal in
+  let n_vertices = 64 in
+  let g = Tdmd_graph.Digraph.create n_vertices in
+  for v = 0 to n_vertices - 2 do
+    Tdmd_graph.Digraph.add_undirected g v (v + 1)
+  done;
+  let inst =
+    Tdmd.Instance.make ~graph:g
+      ~flows:[ Tdmd_flow.Flow.make ~id:0 ~rate:1 ~path:[ 0; 1; 2 ] ]
+      ~lambda:0.5
+  in
+  let ops = if recover_quick then 300 else 3000 in
+  let temp_dir () =
+    let path = Filename.temp_file "tdmd-bench-wal" "" in
+    Sys.remove path;
+    path
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  (* Deterministic workload: arrivals on random line segments, one
+     departure every third op. *)
+  let drive session =
+    let rng = Rng.create 99 in
+    let live = ref [] in
+    for i = 1 to ops do
+      let req = Printf.sprintf "bench-%d" i in
+      if i mod 3 = 0 && !live <> [] then begin
+        let id = List.hd !live in
+        live := List.tl !live;
+        match S.depart session ~req id with
+        | Ok _ -> ()
+        | Error (c, m) -> failwith (Printf.sprintf "bench depart: %s %s" c m)
+      end
+      else begin
+        let a = Rng.int rng (n_vertices - 2) in
+        let b = a + 1 + Rng.int rng (min 6 (n_vertices - a - 1)) in
+        let path = List.init (b - a + 1) (fun j -> a + j) in
+        match S.arrive session ~req ~id:i ~rate:(1 + Rng.int rng 8) ~path () with
+        | Ok _ -> live := !live @ [ i ]
+        | Error (c, m) -> failwith (Printf.sprintf "bench arrive: %s %s" c m)
+      end
+    done
+  in
+  let oc = open_out recover_json_path in
+  let sink = Tdmd_obs.Sink.of_channel oc in
+  print_endline "== recover bench: WAL append + crash recovery ==\n";
+  let table =
+    Table.create
+      [ "fsync"; "ops"; "append ops/s"; "journal KiB"; "recover (ms)";
+        "replay ops/s"; "snapshot KiB" ]
+  in
+  List.iter
+    (fun fsync ->
+      let dir = temp_dir () in
+      let cfg = S.durability ~fsync dir in
+      let session = S.of_general ~durability:cfg ~churn_k:8 inst in
+      let t0 = Tdmd_obs.Clock.now_ns () in
+      drive session;
+      let append_s =
+        Int64.to_float (Int64.sub (Tdmd_obs.Clock.now_ns ()) t0) /. 1e9
+      in
+      let journal_bytes =
+        match List.assoc_opt "durability" (S.durability_stats session) with
+        | Some j -> (
+          match Tdmd_obs.Json.member "journal_bytes" j with
+          | Some (Tdmd_obs.Json.Int b) -> b
+          | _ -> 0)
+        | None -> 0
+      in
+      (* Crash: abandon the session; its whole history is in the WAL. *)
+      let t1 = Tdmd_obs.Clock.now_ns () in
+      let recovered =
+        match S.recover (S.durability ~fsync dir) with
+        | Ok s -> s
+        | Error msg -> failwith ("bench recover: " ^ msg)
+      in
+      let recover_s =
+        Int64.to_float (Int64.sub (Tdmd_obs.Clock.now_ns ()) t1) /. 1e9
+      in
+      let replayed =
+        Tdmd_obs.Telemetry.get_count
+          (S.durability_telemetry recovered)
+          "wal_replayed"
+      in
+      if replayed <> ops then
+        failwith
+          (Printf.sprintf "bench recover: replayed %d of %d ops" replayed ops);
+      (* Clean close writes a snapshot: its size is the compaction
+         payoff. *)
+      S.close recovered;
+      let snapshot_bytes =
+        try (Unix.stat (S.snapshot_file cfg)).Unix.st_size with _ -> 0
+      in
+      rm_rf dir;
+      let policy = J.fsync_policy_to_string fsync in
+      Tdmd_obs.Sink.emit sink
+        (Tdmd_obs.Json.Obj
+           [
+             ("event", Tdmd_obs.Json.String "bench-recover");
+             ("fsync", Tdmd_obs.Json.String policy);
+             ("ops", Tdmd_obs.Json.Int ops);
+             ("append_seconds", Tdmd_obs.Json.Float append_s);
+             ( "append_ops_per_s",
+               Tdmd_obs.Json.Float (float_of_int ops /. Float.max append_s 1e-9)
+             );
+             ("journal_bytes", Tdmd_obs.Json.Int journal_bytes);
+             ("recover_seconds", Tdmd_obs.Json.Float recover_s);
+             ("replayed", Tdmd_obs.Json.Int replayed);
+             ( "replay_ops_per_s",
+               Tdmd_obs.Json.Float
+                 (float_of_int replayed /. Float.max recover_s 1e-9) );
+             ("snapshot_bytes", Tdmd_obs.Json.Int snapshot_bytes);
+           ]);
+      Table.add_row table
+        [
+          policy;
+          string_of_int ops;
+          Printf.sprintf "%.0f" (float_of_int ops /. Float.max append_s 1e-9);
+          Printf.sprintf "%.1f" (float_of_int journal_bytes /. 1024.0);
+          Printf.sprintf "%.2f" (recover_s *. 1000.0);
+          Printf.sprintf "%.0f" (float_of_int replayed /. Float.max recover_s 1e-9);
+          Printf.sprintf "%.1f" (float_of_int snapshot_bytes /. 1024.0);
+        ])
+    [ J.Never; J.Every_n 16; J.Always ];
+  close_out oc;
+  Table.print table;
+  Printf.printf "\nwrote %s (3 fsync policies)\n" recover_json_path
+
 let run_all () =
   List.iter
     (fun (id, f) ->
@@ -482,6 +634,8 @@ let run_all () =
   print_newline ();
   serve_bench ();
   print_newline ();
+  recover_bench ();
+  print_newline ();
   ablation ()
 
 let () =
@@ -491,16 +645,17 @@ let () =
   | [| _; "solvers" |] -> solvers ()
   | [| _; "oracle" |] -> oracle_bench ()
   | [| _; "serve" |] -> serve_bench ()
+  | [| _; "recover" |] -> recover_bench ()
   | [| _; "ablation" |] -> ablation ()
   | [| _; fig |] -> (
     match List.assoc_opt fig line_figures with
     | Some f -> f ()
     | None ->
       Printf.eprintf
-        "unknown target %s (expected fig8..fig17, micro, solvers, oracle, serve, ablation)\n"
+        "unknown target %s (expected fig8..fig17, micro, solvers, oracle, serve, recover, ablation)\n"
         fig;
       exit 1)
   | _ ->
     Printf.eprintf
-      "usage: main.exe [fig8..fig17|micro|solvers|oracle|serve|ablation]\n";
+      "usage: main.exe [fig8..fig17|micro|solvers|oracle|serve|recover|ablation]\n";
     exit 1

@@ -292,18 +292,77 @@ let load_instance_file file =
     Printf.eprintf "invalid instance %s: %s\n" file msg;
     exit 2
 
+let parse_durability journal fsync snapshot_every =
+  match journal with
+  | None -> None
+  | Some dir ->
+    let fsync =
+      match Tdmd_server.Journal.fsync_policy_of_string fsync with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf "--fsync: %s\n" msg;
+        exit 2
+    in
+    if snapshot_every < 0 then begin
+      Printf.eprintf "--snapshot-every must be >= 0\n";
+      exit 2
+    end;
+    Some
+      (Tdmd_server.Session.durability ~fsync ~snapshot_every
+         ~faults:(Tdmd_server.Faults.from_env ()) dir)
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Durability directory: write-ahead journal + snapshots.  If $(docv) \
+           already holds a snapshot the session is recovered from it")
+
+let fsync_arg =
+  Arg.(
+    value & opt string "always"
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:"Journal fsync policy: always | every-N | none")
+
+let snapshot_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Snapshot (and truncate the journal) after every $(docv) journaled \
+           ops; 0 = only at startup and shutdown")
+
 let serve listen topology size lambda density seed instance_file domains queue
-    deadline_ms churn_k metrics_out =
+    deadline_ms churn_k metrics_out journal fsync snapshot_every =
+  let durability = parse_durability journal fsync snapshot_every in
   let session =
-    match instance_file with
-    | Some file -> Tdmd_server.Session.of_general ~churn_k (load_instance_file file)
-    | None -> (
-      let tree_inst, general =
-        build_instances topology ~size ~lambda ~density ~seed
-      in
-      match tree_inst with
-      | Some t -> Tdmd_server.Session.of_tree ~churn_k t
-      | None -> Tdmd_server.Session.of_general ~churn_k general)
+    match durability with
+    | Some cfg when Sys.file_exists (Tdmd_server.Session.snapshot_file cfg) -> (
+      (* The directory already holds a session: continue it (crash or
+         clean restart) instead of starting over. *)
+      match Tdmd_server.Session.recover cfg with
+      | Ok s ->
+        Printf.printf "tdmd serve: recovered session from %s\n%!"
+          cfg.Tdmd_server.Session.dir;
+        s
+      | Error msg ->
+        Printf.eprintf "cannot recover from %s: %s\n"
+          cfg.Tdmd_server.Session.dir msg;
+        exit 2)
+    | _ -> (
+      match instance_file with
+      | Some file ->
+        Tdmd_server.Session.of_general ?durability ~churn_k
+          (load_instance_file file)
+      | None -> (
+        let tree_inst, general =
+          build_instances topology ~size ~lambda ~density ~seed
+        in
+        match tree_inst with
+        | Some t -> Tdmd_server.Session.of_tree ?durability ~churn_k t
+        | None -> Tdmd_server.Session.of_general ?durability ~churn_k general))
   in
   let cfg =
     {
@@ -335,6 +394,7 @@ let serve listen topology size lambda density seed instance_file domains queue
     inst.Tdmd.Instance.lambda domains queue
     (Tdmd_server.Protocol.addr_to_string listen);
   Tdmd_server.Server.wait server;
+  Tdmd_server.Session.close session;
   print_endline "tdmd serve: drained, bye"
 
 let serve_cmd =
@@ -367,9 +427,44 @@ let serve_cmd =
     Term.(
       const serve $ listen_arg $ topology_arg $ size_arg $ lambda_arg
       $ density_arg $ seed_arg $ instance_arg $ domains_arg $ queue_arg
-      $ deadline_arg $ churn_k_arg $ metrics_out_arg)
+      $ deadline_arg $ churn_k_arg $ metrics_out_arg $ journal_arg $ fsync_arg
+      $ snapshot_every_arg)
 
-let client connect op algo k seed on flow_id rate path ms deadline_ms =
+(* ------------------------------------------------------------------ *)
+(* recover: offline rebuild + compaction of a journal directory        *)
+(* ------------------------------------------------------------------ *)
+
+let recover journal fsync =
+  match parse_durability journal fsync 0 with
+  | None ->
+    Printf.eprintf "recover: --journal DIR is required\n";
+    exit 2
+  | Some cfg -> (
+    match Tdmd_server.Session.recover cfg with
+    | Error msg ->
+      Printf.eprintf "cannot recover from %s: %s\n"
+        cfg.Tdmd_server.Session.dir msg;
+      exit 2
+    | Ok session ->
+      let fields =
+        ("op", Tdmd_obs.Json.String "recover")
+        :: Tdmd_server.Session.churn_stats session
+        @ Tdmd_server.Session.durability_stats session
+      in
+      (* [close] writes a fresh snapshot, so recover doubles as offline
+         compaction: the journal is empty afterwards. *)
+      Tdmd_server.Session.close session;
+      print_endline (Tdmd_obs.Json.to_string (Tdmd_obs.Json.Obj fields)))
+
+let recover_cmd =
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild a session from a journal directory (snapshot + WAL replay), \
+          print its state, and compact the journal")
+    Term.(const recover $ journal_arg $ fsync_arg)
+
+let client connect op algo k seed on flow_id rate path ms deadline_ms req_id =
   let module P = Tdmd_server.Protocol in
   let parse_path s =
     List.filter_map int_of_string_opt (String.split_on_char ',' s)
@@ -396,12 +491,13 @@ let client connect op algo k seed on flow_id rate path ms deadline_ms =
         other;
       exit 2
   in
-  match Tdmd_server.Client.connect_retry ~attempts:30 ~delay:0.1 connect with
+  let policy = Tdmd_prelude.Backoff.policy ~base:0.05 ~cap:0.5 ~budget:3.0 () in
+  match Tdmd_server.Client.connect_retry ~policy connect with
   | Error msg ->
     Printf.eprintf "cannot connect to %s: %s\n" (P.addr_to_string connect) msg;
     exit 2
   | Ok c ->
-    let result = Tdmd_server.Client.rpc c ?deadline_ms request in
+    let result = Tdmd_server.Client.rpc_retry c ?deadline_ms ?req:req_id request in
     Tdmd_server.Client.close c;
     (match result with
     | Error msg ->
@@ -446,12 +542,22 @@ let client_cmd =
       & opt (some int) None
       & info [ "deadline-ms" ] ~doc:"Per-request queueing deadline")
   in
+  let req_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "req-id" ] ~docv:"ID"
+          ~doc:
+            "Idempotency id for arrive/depart: the server deduplicates ops it \
+             has already applied under $(docv).  Mutating ops without one get \
+             a generated id (retries are still safe)")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request to a running tdmd serve and print the response")
     Term.(
       const client $ connect_arg $ op_arg $ algo_arg $ k_arg $ seed_arg $ on_arg
-      $ flow_id_arg $ rate_arg $ path_arg $ ms_arg $ deadline_arg)
+      $ flow_id_arg $ rate_arg $ path_arg $ ms_arg $ deadline_arg $ req_id_arg)
 
 (* ------------------------------------------------------------------ *)
 (* churn: replay an arrival/departure trace through Incremental        *)
@@ -580,6 +686,7 @@ let () =
             stats_cmd;
             svg_cmd;
             serve_cmd;
+            recover_cmd;
             client_cmd;
             churn_cmd;
           ]))

@@ -21,6 +21,40 @@ let instance t =
 
 let placement t = Placement.of_list t.placed
 
+let placed_order t = t.placed
+
+(* Rebuild an engine bit-for-bit from an exported state (the server's
+   snapshot file).  Both list orders are load-bearing: [flows] is the
+   arrival order and [placed] the selection order, and both feed future
+   decisions (append positions, Cover_fixup's chosen order). *)
+let restore ~graph ~lambda ~k ~flows ~placed ~moves ~arrivals ~departures =
+  if k < 1 then invalid_arg "Incremental.restore: k must be >= 1";
+  if List.length placed > k then
+    invalid_arg "Incremental.restore: placement exceeds budget";
+  let n = Tdmd_graph.Digraph.vertex_count graph in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        invalid_arg "Incremental.restore: placed vertex outside the graph")
+    placed;
+  List.iter
+    (fun f ->
+      match Flow.validate graph f with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Incremental.restore: " ^ msg))
+    flows;
+  let ids = List.map (fun f -> f.Flow.id) flows in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Incremental.restore: duplicate flow ids";
+  if moves < 0 || arrivals < 0 || departures < 0 then
+    invalid_arg "Incremental.restore: negative counters";
+  let tel = Tdmd_obs.Telemetry.create () in
+  Tdmd_obs.Telemetry.count tel "budget" k;
+  Tdmd_obs.Telemetry.count tel "moves" moves;
+  Tdmd_obs.Telemetry.count tel "arrivals" arrivals;
+  Tdmd_obs.Telemetry.count tel "departures" departures;
+  { graph; lambda; k; current = flows; placed; moves; tel }
+
 let flows t = t.current
 let bandwidth t = Bandwidth.total (instance t) (placement t)
 let feasible t = Allocation.is_feasible (instance t) (placement t)

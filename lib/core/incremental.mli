@@ -42,3 +42,32 @@ val telemetry : t -> Tdmd_obs.Telemetry.t
 
 val instance : t -> Instance.t
 (** Current snapshot as a static instance. *)
+
+(** {1 State export / restore}
+
+    The placement service snapshots engines to disk and rebuilds them
+    after a crash (see [Tdmd_server.Session]); rebuilt engines must be
+    {e bit-identical} — same answers to every observation above and the
+    same behaviour for every future event.  That requires exporting the
+    internal orders, not just the sets. *)
+
+val placed_order : t -> int list
+(** The deployment in {e selection} order (unlike {!placement}, which
+    sorts).  Selection order feeds future replacement decisions, so a
+    faithful restore needs it. *)
+
+val restore :
+  graph:Tdmd_graph.Digraph.t ->
+  lambda:float ->
+  k:int ->
+  flows:Tdmd_flow.Flow.t list ->
+  placed:int list ->
+  moves:int ->
+  arrivals:int ->
+  departures:int ->
+  t
+(** Rebuild an engine from exported state: [flows] in arrival order
+    (as returned by {!flows}), [placed] in selection order (as returned
+    by {!placed_order}), and the lifetime counters.  The result is
+    bit-identical to the engine the state was exported from.
+    @raise Invalid_argument on invalid flows/placement/counters. *)

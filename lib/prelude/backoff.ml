@@ -1,0 +1,60 @@
+type policy = {
+  base : float;
+  cap : float;
+  max_attempts : int;
+  budget : float;
+}
+
+let policy ?(base = 0.05) ?(cap = 1.0) ?(max_attempts = 0) ?(budget = 10.0) () =
+  if base <= 0.0 then invalid_arg "Backoff.policy: base must be > 0";
+  if cap < base then invalid_arg "Backoff.policy: cap must be >= base";
+  if max_attempts < 0 then invalid_arg "Backoff.policy: max_attempts < 0";
+  if budget < 0.0 then invalid_arg "Backoff.policy: budget < 0";
+  { base; cap; max_attempts; budget }
+
+let default = policy ()
+
+type t = {
+  p : policy;
+  rng : Rng.t;
+  mutable prev : float;
+  mutable used : int;
+  mutable slept : float;
+}
+
+let start ?(seed = 0) p = { p; rng = Rng.create seed; prev = 0.0; used = 0; slept = 0.0 }
+
+let attempts t = t.used
+let elapsed t = t.slept
+
+let next t =
+  if t.p.max_attempts > 0 && t.used >= t.p.max_attempts then None
+  else if t.p.budget > 0.0 && t.slept >= t.p.budget then None
+  else begin
+    (* Decorrelated jitter (Brooker, "Exponential Backoff And Jitter"):
+       uniform in [base, 3*prev], so the expectation grows ~1.5x per
+       attempt while successive delays stay independent enough that
+       clients sharing a failure don't re-collide. *)
+    let hi = Float.min t.p.cap (Float.max t.p.base (3.0 *. t.prev)) in
+    let d =
+      if t.used = 0 then t.p.base
+      else t.p.base +. Rng.float t.rng (Float.max 0.0 (hi -. t.p.base))
+    in
+    let d = Float.min d t.p.cap in
+    (* Never plan past the budget: the final sleep is clipped so the
+       give-up point is exactly [budget], not budget + one cap. *)
+    let d =
+      if t.p.budget > 0.0 then Float.min d (t.p.budget -. t.slept) else d
+    in
+    t.prev <- d;
+    t.used <- t.used + 1;
+    t.slept <- t.slept +. d;
+    Some d
+  end
+
+let sleep t =
+  match next t with
+  | None -> false
+  | Some d ->
+    if d > 0.0 then Unix.sleepf d;
+    true

@@ -1,0 +1,52 @@
+(** Exponential backoff with decorrelated jitter.
+
+    The retry schedule of every client-side loop in the project (socket
+    connects, retryable RPC errors).  Delays follow the "decorrelated
+    jitter" scheme: the n-th delay is uniform in [\[base, 3·prev\]],
+    clamped to [cap] — growth is exponential in expectation, but
+    concurrent clients never synchronize into retry storms the way a
+    deterministic doubling schedule does.
+
+    Determinism: the jitter stream comes from {!Rng}, so a seed fixes
+    the whole schedule; the total-budget cap counts the {e planned}
+    sleep time rather than wall-clock, which keeps the giving-up point
+    reproducible in tests. *)
+
+type policy = {
+  base : float;     (** first delay and per-delay lower bound, seconds *)
+  cap : float;      (** per-delay upper bound, seconds *)
+  max_attempts : int;  (** give up after this many delays (0 = unlimited) *)
+  budget : float;   (** give up once cumulative planned sleep exceeds this
+                        many seconds (0 = unlimited) *)
+}
+
+val policy :
+  ?base:float -> ?cap:float -> ?max_attempts:int -> ?budget:float -> unit ->
+  policy
+(** Defaults: [base = 0.05], [cap = 1.0], [max_attempts = 0] (unlimited),
+    [budget = 10.0].
+    @raise Invalid_argument on non-positive [base]/[cap] or [cap < base]. *)
+
+val default : policy
+(** [policy ()]. *)
+
+type t
+(** Mutable schedule state: previous delay, attempts used, budget left. *)
+
+val start : ?seed:int -> policy -> t
+(** Fresh schedule.  Equal seeds yield equal delay sequences (default
+    seed 0). *)
+
+val next : t -> float option
+(** The next planned delay, or [None] when the policy says give up.
+    Does not sleep. *)
+
+val sleep : t -> bool
+(** [next] + [Unix.sleepf]; [false] means the budget is exhausted and
+    the caller should stop retrying.  Blocks only the calling thread. *)
+
+val attempts : t -> int
+(** Delays handed out so far. *)
+
+val elapsed : t -> float
+(** Cumulative planned sleep handed out so far, seconds. *)

@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial 0xEDB88320).
+
+    Used by the server's write-ahead journal to detect torn or corrupted
+    records; table-driven, no dependencies.  Checksums are returned as a
+    non-negative [int] in [\[0, 2^32)] so they fit OCaml's native int on
+    64-bit platforms and serialize as plain JSON integers. *)
+
+val bytes : ?crc:int -> ?pos:int -> ?len:int -> bytes -> int
+(** [bytes ?crc b ~pos ~len] extends checksum [crc] (default: the empty
+    checksum) over [len] bytes of [b] starting at [pos] (defaults: the
+    whole buffer).  Feeding a buffer in chunks yields the same result as
+    one call over the concatenation.
+    @raise Invalid_argument when [pos]/[len] fall outside [b]. *)
+
+val string : ?crc:int -> string -> int
+(** [string s] is the checksum of all of [s]. *)

@@ -1,8 +1,17 @@
 module Json = Tdmd_obs.Json
+module Backoff = Tdmd_prelude.Backoff
 
-type t = { fd : Unix.file_descr; mutable open_ : bool }
+type t = {
+  addr : Protocol.addr;
+  retry : Backoff.policy;
+  seed : int option;
+  mutable fd : Unix.file_descr option;  (* None = disconnected *)
+  mutable closed : bool;                (* explicit [close]: terminal *)
+  mutable next_req : int;
+  tag : string;  (* per-client prefix for generated idempotency ids *)
+}
 
-let connect addr =
+let raw_connect addr =
   let domain =
     match addr with
     | Protocol.Unix_sock _ -> Unix.PF_UNIX
@@ -13,41 +22,135 @@ let connect addr =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; open_ = true }
+  fd
 
-let connect_retry ?(attempts = 50) ?(delay = 0.1) addr =
-  let rec go n =
-    match connect addr with
+(* Ids must not collide with a previous incarnation of this process
+   talking to a server whose dedup table survived (journaled), so the
+   tag mixes the pid with a wall-clock microsecond stamp. *)
+let fresh_tag () =
+  Printf.sprintf "c%d.%.0f" (Unix.getpid ()) (Unix.gettimeofday () *. 1e6)
+
+let connect ?(retry = Backoff.default) ?seed addr =
+  let fd = raw_connect addr in
+  { addr; retry; seed; fd = Some fd; closed = false; next_req = 0;
+    tag = fresh_tag () }
+
+let connect_retry ?(policy = Backoff.default) ?seed addr =
+  let b = Backoff.start ?seed policy in
+  let rec go () =
+    match connect ~retry:policy ?seed addr with
     | c -> Ok c
     | exception (Unix.Unix_error _ as e) ->
-      if n <= 1 then Error (Printexc.to_string e)
-      else begin
-        Thread.delay delay;
-        go (n - 1)
-      end
+      if Backoff.sleep b then go ()
+      else
+        Error
+          (Printf.sprintf "%s (gave up after %d attempts over %.2f s)"
+             (Printexc.to_string e) (Backoff.attempts b) (Backoff.elapsed b))
   in
-  go (max 1 attempts)
+  go ()
+
+let drop_connection t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    t.fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let reconnect t =
+  drop_connection t;
+  match raw_connect t.addr with
+  | fd -> t.fd <- Some fd
+  | exception Unix.Unix_error _ -> ()  (* stay disconnected; caller retries *)
+
+(* One write/read exchange.  Any transport failure drops the connection
+   so a later retry starts from a clean reconnect instead of a
+   half-written frame. *)
+let exchange t json =
+  if t.closed then Error (`Fatal "client is closed")
+  else
+    match t.fd with
+    | None -> Error (`Transport "not connected")
+    | Some fd -> (
+      match Protocol.write_frame fd json with
+      | exception Unix.Unix_error (err, _, _) ->
+        drop_connection t;
+        Error (`Transport ("write: " ^ Unix.error_message err))
+      | () -> (
+        match Protocol.read_frame fd with
+        | Ok v -> Ok v
+        | Error `Eof ->
+          drop_connection t;
+          Error (`Transport "connection closed by server")
+        | Error (`Bad msg) ->
+          (* Framing is out of sync — same reasoning as the server's
+             reader: reconnect rather than misparse what follows. *)
+          drop_connection t;
+          Error (`Transport msg)
+        | exception Unix.Unix_error (err, _, _) ->
+          drop_connection t;
+          Error (`Transport ("read: " ^ Unix.error_message err))))
 
 let rpc_json t json =
-  if not t.open_ then Error "client is closed"
-  else begin
-    match Protocol.write_frame t.fd json with
-    | exception Unix.Unix_error (err, _, _) ->
-      Error ("write: " ^ Unix.error_message err)
-    | () -> (
-      match Protocol.read_frame t.fd with
-      | Ok v -> Ok v
-      | Error `Eof -> Error "connection closed by server"
-      | Error (`Bad msg) -> Error msg
-      | exception Unix.Unix_error (err, _, _) ->
-        Error ("read: " ^ Unix.error_message err))
-  end
+  match exchange t json with
+  | Ok v -> Ok v
+  | Error (`Fatal msg | `Transport msg) -> Error msg
 
-let rpc t ?id ?deadline_ms request =
-  rpc_json t (Protocol.request_to_json ?id ?deadline_ms request)
+let rpc t ?id ?deadline_ms ?req request =
+  rpc_json t (Protocol.request_to_json ?id ?deadline_ms ?req request)
+
+let gen_req t =
+  let n = t.next_req in
+  t.next_req <- n + 1;
+  Printf.sprintf "%s-%d" t.tag n
+
+let is_mutating = function
+  | Protocol.Arrive _ | Protocol.Depart _ -> true
+  | Protocol.Ping | Protocol.Sleep _ | Protocol.Solve _ | Protocol.Stats
+  | Protocol.Shutdown ->
+    false
+
+(* Retryable server answer: the queue was full.  Everything else the
+   server says ("bad-request", "conflict", "deadline", ...) is a real
+   answer and retrying would not change it. *)
+let overloaded json =
+  match (Json.member "ok" json, Json.member "code" json) with
+  | Some (Json.Bool false), Some (Json.String "overloaded") -> true
+  | _ -> false
+
+let rpc_retry t ?id ?deadline_ms ?req ?policy request =
+  let req =
+    match req with
+    | Some _ -> req
+    | None -> if is_mutating request then Some (gen_req t) else None
+  in
+  let json = Protocol.request_to_json ?id ?deadline_ms ?req request in
+  let b = Backoff.start ?seed:t.seed (Option.value policy ~default:t.retry) in
+  let give_up msg =
+    Error
+      (Printf.sprintf "%s (gave up after %d attempts over %.2f s)" msg
+         (Backoff.attempts b) (Backoff.elapsed b))
+  in
+  let rec attempt () =
+    match exchange t json with
+    | Error (`Fatal msg) -> Error msg
+    | Ok resp when not (overloaded resp) -> Ok resp
+    | Ok _ ->
+      (* Overloaded: the connection is fine, just wait and resend. *)
+      if Backoff.sleep b then attempt () else give_up "server overloaded"
+    | Error (`Transport msg) ->
+      (* The request may or may not have been applied before the
+         connection died — safe to resend only because mutating ops
+         carry an idempotency id the server deduplicates. *)
+      if Backoff.sleep b then begin
+        reconnect t;
+        attempt ()
+      end
+      else give_up msg
+  in
+  attempt ()
 
 let close t =
-  if t.open_ then begin
-    t.open_ <- false;
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  if not t.closed then begin
+    t.closed <- true;
+    drop_connection t
   end

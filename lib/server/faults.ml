@@ -1,0 +1,144 @@
+exception Crash of string
+
+type kind = Crash_k | Eintr_k | Short_k | Corrupt_k
+
+type directive = { kind : kind; point : string; nth : int }
+
+type t = {
+  directives : directive list;
+  counts : (string, int) Hashtbl.t;  (* per-point pass counts *)
+  rng : Tdmd_prelude.Rng.t;          (* offsets for short/corrupt *)
+  lock : Mutex.t;  (* points are hit from reader threads and workers *)
+}
+
+let none =
+  {
+    directives = [];
+    counts = Hashtbl.create 1;
+    rng = Tdmd_prelude.Rng.create 0;
+    lock = Mutex.create ();
+  }
+
+let enabled t = t.directives <> []
+
+let kind_of_string = function
+  | "crash" -> Some Crash_k
+  | "eintr" -> Some Eintr_k
+  | "short" -> Some Short_k
+  | "corrupt" -> Some Corrupt_k
+  | _ -> None
+
+let of_spec spec =
+  let parts =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let parse_directive part =
+    match String.index_opt part '@' with
+    | None -> (
+      match String.split_on_char '=' part with
+      | [ "seed"; v ] -> (
+        match int_of_string_opt v with
+        | Some s -> Ok (`Seed s)
+        | None -> Error (Printf.sprintf "bad seed %S" v))
+      | _ ->
+        Error
+          (Printf.sprintf "bad directive %S (expected KIND@POINT[:NTH] or seed=N)"
+             part))
+    | Some at -> (
+      let kind_s = String.sub part 0 at in
+      let tail = String.sub part (at + 1) (String.length part - at - 1) in
+      let point, nth =
+        match String.rindex_opt tail ':' with
+        | Some i -> (
+          let p = String.sub tail 0 i in
+          let n = String.sub tail (i + 1) (String.length tail - i - 1) in
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> (p, n)
+          | _ -> (tail, 1))
+        | None -> (tail, 1)
+      in
+      match kind_of_string kind_s with
+      | Some kind when point <> "" -> Ok (`Directive { kind; point; nth })
+      | Some _ -> Error (Printf.sprintf "empty point in %S" part)
+      | None -> Error (Printf.sprintf "unknown fault kind %S" kind_s))
+  in
+  let rec go seed acc = function
+    | [] ->
+      Ok
+        {
+          directives = List.rev acc;
+          counts = Hashtbl.create 8;
+          rng = Tdmd_prelude.Rng.create seed;
+          lock = Mutex.create ();
+        }
+    | part :: rest -> (
+      match parse_directive part with
+      | Error _ as e -> e
+      | Ok (`Seed s) -> go s acc rest
+      | Ok (`Directive d) -> go seed (d :: acc) rest)
+  in
+  go 0 [] parts
+
+let from_env () =
+  match Sys.getenv_opt "TDMD_FAULTS" with
+  | None | Some "" -> none
+  | Some spec -> (
+    match of_spec spec with
+    | Ok t -> t
+    | Error msg ->
+      Printf.eprintf "TDMD_FAULTS: %s\n%!" msg;
+      exit 2)
+
+(* Count the pass and return the directives firing at exactly this
+   count.  One mutex for the whole plan: fault runs are not performance
+   runs. *)
+let fire t point =
+  if not (enabled t) then []
+  else begin
+    Mutex.lock t.lock;
+    let n = (match Hashtbl.find_opt t.counts point with Some c -> c | None -> 0) + 1 in
+    Hashtbl.replace t.counts point n;
+    let fired =
+      List.filter (fun d -> d.point = point && d.nth = n) t.directives
+    in
+    Mutex.unlock t.lock;
+    fired
+  end
+
+let hit t point =
+  List.iter
+    (fun d -> match d.kind with Crash_k -> raise (Crash point) | _ -> ())
+    (fire t point)
+
+let eintr t point =
+  List.exists (fun d -> d.kind = Eintr_k) (fire t point)
+
+let clamp t point len =
+  let fired = fire t point in
+  if len <= 1 then len
+  else if List.exists (fun d -> d.kind = Short_k) fired then begin
+    Mutex.lock t.lock;
+    let n = 1 + Tdmd_prelude.Rng.int t.rng (len - 1) in
+    Mutex.unlock t.lock;
+    n
+  end
+  else len
+
+let mangle t point buf =
+  let fired = fire t point in
+  if Bytes.length buf > 0 && List.exists (fun d -> d.kind = Corrupt_k) fired
+  then begin
+    Mutex.lock t.lock;
+    let i = Tdmd_prelude.Rng.int t.rng (Bytes.length buf) in
+    let bit = 1 lsl Tdmd_prelude.Rng.int t.rng 8 in
+    Mutex.unlock t.lock;
+    Bytes.set_uint8 buf i (Bytes.get_uint8 buf i lxor bit)
+  end
+
+let hits t =
+  Mutex.lock t.lock;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts [] in
+  Mutex.unlock t.lock;
+  List.sort compare l

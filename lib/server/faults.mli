@@ -1,0 +1,70 @@
+(** Deterministic fault injection for the durability and socket paths.
+
+    A fault plan arms {e directives} at {e named points} — places in the
+    WAL, snapshot and frame-I/O code that consult the plan on every
+    pass.  A directive fires at one specific hit count of its point, so
+    a seeded plan plus a deterministic workload reproduces a failure
+    bit-for-bit; everything is inert (a few branch tests) when the plan
+    is {!none}.
+
+    Directive kinds:
+    - {b crash}: raise {!Crash} — an in-process stand-in for [kill -9]
+      used by the crash-recovery property tests (the CI smoke kills the
+      real process as well);
+    - {b eintr}: tell an I/O loop to behave as if the syscall returned
+      [EINTR] once;
+    - {b short}: clamp one read/write to a strict prefix, exercising
+      short-I/O handling;
+    - {b corrupt}: flip one pseudo-random byte of an in-flight buffer
+      (CRC and framing must catch it downstream).
+
+    Spec grammar (also accepted from the [TDMD_FAULTS] environment
+    variable): semicolon-separated [KIND@POINT[:NTH]] with an optional
+    [seed=N]; [NTH] is the 1-based hit at which the directive fires
+    (default 1).  Example:
+    [crash@wal.append.post_write:3;seed=7]. *)
+
+exception Crash of string
+(** Raised by a [crash] directive; carries the point name.  Callers
+    must {e not} catch it on the durability path — the whole point is
+    that the process dies with its buffers in whatever state they are
+    in. *)
+
+type t
+
+val none : t
+(** The empty plan: every hook is a no-op. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!none}-equivalent plans (lets hot paths skip
+    hook bookkeeping). *)
+
+val of_spec : string -> (t, string) result
+(** Parse the grammar above.  [""] yields an inert plan. *)
+
+val from_env : unit -> t
+(** Plan from [TDMD_FAULTS]; inert when unset.  Exits with a message on
+    stderr when the spec is malformed (a silent typo must not disable a
+    fault run). *)
+
+(** {1 Hooks} *)
+
+val hit : t -> string -> unit
+(** Pass a named point.  @raise Crash when a crash directive fires. *)
+
+val eintr : t -> string -> bool
+(** [true] when the caller should simulate one [EINTR] return at this
+    point (the hit is consumed). *)
+
+val clamp : t -> string -> int -> int
+(** [clamp t point len] is how many bytes the caller may actually
+    read/write this pass: [len] normally, a strict prefix in [\[1,
+    len)] when a [short] directive fires ([len] when [len <= 1]). *)
+
+val mangle : t -> string -> bytes -> unit
+(** Flip one byte in place when a [corrupt] directive fires at this
+    point; no-op otherwise or on empty buffers. *)
+
+val hits : t -> (string * int) list
+(** Observed pass counts per point, sorted by name (test assertions and
+    the [--trace] output of fault runs). *)

@@ -1,0 +1,266 @@
+module Json = Tdmd_obs.Json
+module Crc32 = Tdmd_prelude.Crc32
+
+(* ------------------------------------------------------------------ *)
+(* Operations and their codec                                          *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Arrive of { id : int; rate : int; path : int list; req : string option }
+  | Depart of { flow_id : int; req : string option }
+
+let req_field = function
+  | Some r -> [ ("req", Json.String r) ]
+  | None -> []
+
+let op_to_json = function
+  | Arrive { id; rate; path; req } ->
+    Json.Obj
+      ([
+         ("op", Json.String "arrive");
+         ("id", Json.Int id);
+         ("rate", Json.Int rate);
+         ("path", Json.List (List.map (fun v -> Json.Int v) path));
+       ]
+      @ req_field req)
+  | Depart { flow_id; req } ->
+    Json.Obj
+      ([ ("op", Json.String "depart"); ("flow_id", Json.Int flow_id) ]
+      @ req_field req)
+
+let ( let* ) = Result.bind
+
+let int_field json name =
+  match Json.member name json with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "journal record: bad field %S" name)
+
+let req_of json =
+  match Json.member "req" json with
+  | None -> Ok None
+  | Some (Json.String r) -> Ok (Some r)
+  | Some _ -> Error "journal record: field \"req\" must be a string"
+
+let op_of_json json =
+  match Json.member "op" json with
+  | Some (Json.String "arrive") ->
+    let* id = int_field json "id" in
+    let* rate = int_field json "rate" in
+    let* path =
+      match Json.member "path" json with
+      | Some (Json.List vs) ->
+        List.fold_right
+          (fun v acc ->
+            let* acc = acc in
+            match v with
+            | Json.Int i -> Ok (i :: acc)
+            | _ -> Error "journal record: path must be a list of integers")
+          vs (Ok [])
+      | _ -> Error "journal record: missing field \"path\""
+    in
+    let* req = req_of json in
+    Ok (Arrive { id; rate; path; req })
+  | Some (Json.String "depart") ->
+    let* flow_id = int_field json "flow_id" in
+    let* req = req_of json in
+    Ok (Depart { flow_id; req })
+  | Some (Json.String other) ->
+    Error (Printf.sprintf "journal record: unknown op %S" other)
+  | _ -> Error "journal record: missing field \"op\""
+
+(* ------------------------------------------------------------------ *)
+(* On-disk framing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A length that decodes above this is necessarily corruption: single
+   records are tiny (one churn op). *)
+let max_record = 1 lsl 20
+
+let be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let set_be32 b off v =
+  Bytes.set_uint8 b off ((v lsr 24) land 0xff);
+  Bytes.set_uint8 b (off + 1) ((v lsr 16) land 0xff);
+  Bytes.set_uint8 b (off + 2) ((v lsr 8) land 0xff);
+  Bytes.set_uint8 b (off + 3) (v land 0xff)
+
+let encode op =
+  let payload = Json.to_string (op_to_json op) in
+  let len = String.length payload in
+  let b = Bytes.create (8 + len) in
+  set_be32 b 0 len;
+  set_be32 b 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 b 8 len;
+  Bytes.unsafe_to_string b
+
+(* [data] is the whole file: decode the longest valid prefix.  Returns
+   the ops and the byte offset of the first unreadable record. *)
+let decode_prefix data =
+  let total = String.length data in
+  let rec go off acc =
+    if off + 8 > total then (List.rev acc, off)
+    else begin
+      let len = be32 data off in
+      let crc = be32 data (off + 4) in
+      if len > max_record || off + 8 + len > total then (List.rev acc, off)
+      else begin
+        let payload = String.sub data (off + 8) len in
+        if Crc32.string payload <> crc then (List.rev acc, off)
+        else begin
+          match Result.bind (Json.of_string payload) op_of_json with
+          | Ok op -> go (off + 8 + len) (op :: acc)
+          | Error _ -> (List.rev acc, off)
+        end
+      end
+    end
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Fsync policy                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type fsync_policy = Always | Every_n of int | Never
+
+let fsync_policy_of_string = function
+  | "always" -> Ok Always
+  | "none" -> Ok Never
+  | s -> (
+    let prefix = "every-" in
+    let pl = String.length prefix in
+    if String.length s > pl && String.sub s 0 pl = prefix then begin
+      match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+      | Some n when n >= 1 -> Ok (Every_n n)
+      | _ -> Error (Printf.sprintf "bad fsync policy %S (every-N needs N >= 1)" s)
+    end
+    else Error (Printf.sprintf "unknown fsync policy %S (always | every-N | none)" s))
+
+let fsync_policy_to_string = function
+  | Always -> "always"
+  | Never -> "none"
+  | Every_n n -> Printf.sprintf "every-%d" n
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  fsync : fsync_policy;
+  faults : Faults.t;
+  tel : Tdmd_obs.Telemetry.t;
+  mutable unsynced : int;  (* records since last fsync *)
+  mutable written : int;
+  mutable size : int;      (* valid bytes on disk *)
+}
+
+let count t name n = Tdmd_obs.Telemetry.count t.tel name n
+
+let read_whole fd =
+  let size = (Unix.fstat fd).Unix.st_size in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let buf = Bytes.create size in
+  let rec go off =
+    if off >= size then ()
+    else begin
+      match Unix.read fd buf off (size - off) with
+      | 0 -> failwith "journal shrank while reading"
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0;
+  Bytes.unsafe_to_string buf
+
+let replay path =
+  if not (Sys.file_exists path) then Ok ([], 0)
+  else begin
+    match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "cannot open %s: %s" path (Unix.error_message err))
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match read_whole fd with
+          | data ->
+            let ops, good = decode_prefix data in
+            Ok (ops, String.length data - good)
+          | exception (Unix.Unix_error _ | Failure _) ->
+            Error (Printf.sprintf "cannot read %s" path))
+  end
+
+let open_append ?(faults = Faults.none) ?tel ~fsync path =
+  let tel =
+    match tel with Some t -> t | None -> Tdmd_obs.Telemetry.create ()
+  in
+  let fd =
+    try Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+    with Unix.Unix_error (err, _, _) ->
+      raise (Sys_error (Printf.sprintf "cannot open journal %s: %s" path
+                          (Unix.error_message err)))
+  in
+  (* One writer per journal, ever: the lock dies with the process, so a
+     kill -9 leaves the file claimable. *)
+  (try Unix.lockf fd Unix.F_TLOCK 0
+   with Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise (Sys_error (Printf.sprintf "journal %s is locked by another process" path)));
+  let data = read_whole fd in
+  let ops, good = decode_prefix data in
+  let torn = String.length data - good in
+  Tdmd_obs.Telemetry.count tel "wal_replayed" (List.length ops);
+  if torn > 0 then begin
+    Tdmd_obs.Telemetry.count tel "wal_torn_truncations" 1;
+    Tdmd_obs.Telemetry.count tel "wal_torn_bytes" torn;
+    Unix.ftruncate fd good
+  end;
+  ignore (Unix.lseek fd good Unix.SEEK_SET);
+  let t = { fd; path; fsync; faults; tel; unsynced = 0; written = 0; size = good } in
+  (t, ops)
+
+let do_fsync t =
+  Unix.fsync t.fd;
+  t.unsynced <- 0;
+  count t "wal_fsyncs" 1
+
+let maybe_fsync t =
+  match t.fsync with
+  | Never -> ()
+  | Always -> do_fsync t
+  | Every_n n -> if t.unsynced >= n then do_fsync t
+
+let append t op =
+  let record = Bytes.of_string (encode op) in
+  Faults.hit t.faults "wal.append.pre_write";
+  Faults.mangle t.faults "wal.write" record;
+  Protocol.write_all ~faults:t.faults ~point:"wal.write" t.fd record;
+  t.size <- t.size + Bytes.length record;
+  t.written <- t.written + 1;
+  t.unsynced <- t.unsynced + 1;
+  count t "wal_appends" 1;
+  count t "wal_bytes" (Bytes.length record);
+  Faults.hit t.faults "wal.append.post_write";
+  maybe_fsync t;
+  Faults.hit t.faults "wal.append.post_fsync"
+
+let sync t = if t.unsynced > 0 then do_fsync t
+
+let reset t =
+  Unix.ftruncate t.fd 0;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  t.size <- 0;
+  t.unsynced <- 0;
+  do_fsync t
+
+let records_written t = t.written
+let size_bytes t = t.size
+
+let close t =
+  (match t.fsync with Never -> () | Always | Every_n _ -> sync t);
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

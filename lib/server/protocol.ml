@@ -46,15 +46,26 @@ let sockaddr = function
 
 let max_frame = 16 * 1024 * 1024
 
-let write_all fd bytes =
+(* EINTR-safe, short-write-correct write loop.  A partial [write] (full
+   socket buffer, signal mid-copy) resumes at the right offset, so a
+   frame can never hit the wire torn; [EINTR] retries without progress.
+   The fault hooks shrink or interrupt individual passes deterministically
+   so tests can prove both properties. *)
+let write_all ?(faults = Faults.none) ?(point = "sock.write") fd bytes =
   let len = Bytes.length bytes in
   let off = ref 0 in
   while !off < len do
-    let n = Unix.write fd bytes !off (len - !off) in
-    off := !off + n
+    let want = len - !off in
+    let want = if Faults.enabled faults then Faults.clamp faults point want else want in
+    let simulated_eintr = Faults.enabled faults && Faults.eintr faults point in
+    if not simulated_eintr then begin
+      match Unix.write fd bytes !off want with
+      | n -> off := !off + n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    end
   done
 
-let write_frame fd json =
+let write_frame ?faults fd json =
   let payload = Bytes.of_string (Json.to_string json) in
   let len = Bytes.length payload in
   let frame = Bytes.create (4 + len) in
@@ -66,16 +77,19 @@ let write_frame fd json =
   (* One write for the whole frame: responses from different worker
      domains interleave at frame granularity under the connection's
      write lock, never inside a frame. *)
-  write_all fd frame
+  write_all ?faults fd frame
 
 (* [`Eof] only when the stream ends cleanly *between* frames; anything
    truncated mid-frame is [`Bad]. *)
-let read_exact fd n ~clean_eof =
+let read_exact ?(faults = Faults.none) fd n ~clean_eof =
   let buf = Bytes.create n in
   let rec go off =
+    let want = n - off in
+    let want = if Faults.enabled faults then Faults.clamp faults "sock.read" want else want in
     if off >= n then Ok buf
+    else if Faults.enabled faults && Faults.eintr faults "sock.read" then go off
     else begin
-      match Unix.read fd buf off (n - off) with
+      match Unix.read fd buf off want with
       | 0 -> if off = 0 && clean_eof then Error `Eof else Error (`Bad "truncated frame")
       | r -> go (off + r)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
@@ -83,8 +97,8 @@ let read_exact fd n ~clean_eof =
   in
   go 0
 
-let read_frame fd =
-  match read_exact fd 4 ~clean_eof:true with
+let read_frame ?faults fd =
+  match read_exact ?faults fd 4 ~clean_eof:true with
   | Error _ as e -> e
   | Ok hdr ->
     let len =
@@ -95,7 +109,7 @@ let read_frame fd =
     in
     if len > max_frame then Error (`Bad (Printf.sprintf "frame of %d bytes exceeds limit" len))
     else begin
-      match read_exact fd len ~clean_eof:false with
+      match read_exact ?faults fd len ~clean_eof:false with
       | Error `Eof -> Error (`Bad "truncated frame")
       | Error (`Bad _) as e -> e
       | Ok payload -> (
@@ -122,10 +136,11 @@ type request =
 type envelope = {
   id : Json.t option;
   deadline_ms : int option;
+  req : string option;
   request : request;
 }
 
-let request_to_json ?id ?deadline_ms request =
+let request_to_json ?id ?deadline_ms ?req request =
   let base =
     match request with
     | Ping -> [ ("op", Json.String "ping") ]
@@ -156,6 +171,7 @@ let request_to_json ?id ?deadline_ms request =
   let envelope =
     (match id with Some v -> [ ("id", v) ] | None -> [])
     @ (match deadline_ms with Some d -> [ ("deadline_ms", Json.Int d) ] | None -> [])
+    @ (match req with Some r -> [ ("req", Json.String r) ] | None -> [])
   in
   Json.Obj (base @ envelope)
 
@@ -234,7 +250,13 @@ let request_of_json json =
       | Some (Json.Int d) when d >= 0 -> Ok (Some d)
       | Some _ -> Error "field \"deadline_ms\" must be a non-negative integer"
     in
-    Ok { id = Json.member "id" json; deadline_ms; request }
+    let* req =
+      match Json.member "req" json with
+      | None -> Ok None
+      | Some (Json.String r) when r <> "" -> Ok (Some r)
+      | Some _ -> Error "field \"req\" must be a non-empty string"
+    in
+    Ok { id = Json.member "id" json; deadline_ms; req; request }
   | _ -> Error "request must be a JSON object"
 
 (* ------------------------------------------------------------------ *)

@@ -8,10 +8,12 @@
     closed-loop client can simply alternate write/read.
 
     Requests are objects with an ["op"] field plus op-specific
-    arguments and two optional envelope fields: ["id"] (any JSON value,
-    echoed verbatim in the response) and ["deadline_ms"] (queueing
+    arguments and three optional envelope fields: ["id"] (any JSON
+    value, echoed verbatim in the response), ["deadline_ms"] (queueing
     budget; requests still waiting when it expires are answered with a
-    ["deadline"] error instead of being executed).
+    ["deadline"] error instead of being executed) and ["req"] (a
+    non-empty idempotency string under which mutating ops are
+    deduplicated server-side).
 
     Responses are objects with ["ok": true] and op-specific fields, or
     ["ok": false] with ["code"] (machine-readable, see {!section:codes})
@@ -38,13 +40,25 @@ val max_frame : int
 (** Refuse frames larger than this (16 MiB) — a corrupt or hostile
     length prefix must not allocate unboundedly. *)
 
-val write_frame : Unix.file_descr -> Json.t -> unit
+val write_all :
+  ?faults:Faults.t -> ?point:string -> Unix.file_descr -> bytes -> unit
+(** EINTR-safe, short-write-correct write loop (also used by the WAL).
+    A partial [write] resumes at the right offset so no frame or journal
+    record is ever emitted torn; [EINTR] retries without progress.
+    [faults]/[point] (default ["sock.write"]) let tests shrink or
+    interrupt individual passes deterministically.
+    @raise Unix.Unix_error on real transport failure. *)
+
+val write_frame : ?faults:Faults.t -> Unix.file_descr -> Json.t -> unit
 (** Serialize and send one frame.  @raise Unix.Unix_error on transport
     failure (e.g. the peer is gone). *)
 
-val read_frame : Unix.file_descr -> (Json.t, [ `Eof | `Bad of string ]) result
+val read_frame :
+  ?faults:Faults.t -> Unix.file_descr -> (Json.t, [ `Eof | `Bad of string ]) result
 (** Read one frame.  [`Eof] on clean close before a length prefix;
-    [`Bad _] on truncation, oversized lengths or invalid JSON. *)
+    [`Bad _] on truncation, oversized lengths or invalid JSON.  Reads
+    are EINTR-safe and resume across short returns; [faults] injects
+    both at point ["sock.read"]. *)
 
 (** {1 Requests} *)
 
@@ -64,10 +78,15 @@ type request =
 type envelope = {
   id : Json.t option;
   deadline_ms : int option;
+  req : string option;
+      (** idempotency id: the server deduplicates mutating ops
+          ([arrive]/[depart]) carrying a ["req"] it has already applied,
+          so a client may retry them safely (see {!Session}) *)
   request : request;
 }
 
-val request_to_json : ?id:Json.t -> ?deadline_ms:int -> request -> Json.t
+val request_to_json :
+  ?id:Json.t -> ?deadline_ms:int -> ?req:string -> request -> Json.t
 val request_of_json : Json.t -> (envelope, string) result
 
 (** {1:codes Responses} *)

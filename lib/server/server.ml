@@ -101,6 +101,7 @@ let stats_fields t =
     ("latency_p99_ms", pct 0.99);
     ("churn", Json.Obj (Session.churn_stats t.session));
   ]
+  @ Session.durability_stats t.session
 
 let telemetry t = t.tel
 
@@ -117,7 +118,7 @@ let op_counter = function
   | Protocol.Stats -> "op_stats"
   | Protocol.Shutdown -> "op_shutdown"
 
-let execute t (request : Protocol.request) : Session.reply =
+let execute t ?req (request : Protocol.request) : Session.reply =
   match request with
   | Protocol.Ping -> Ok (Protocol.ok [ ("op", Json.String "ping") ])
   | Protocol.Sleep ms ->
@@ -129,12 +130,12 @@ let execute t (request : Protocol.request) : Session.reply =
     | Ok other -> Ok (Protocol.ok [ ("result", other) ])
     | Error _ as e -> e)
   | Protocol.Arrive { id; rate; path } -> (
-    match Session.arrive t.session ~id ~rate ~path with
+    match Session.arrive t.session ?req ~id ~rate ~path () with
     | Ok (Json.Obj fields) -> Ok (Protocol.ok fields)
     | Ok other -> Ok (Protocol.ok [ ("result", other) ])
     | Error _ as e -> e)
   | Protocol.Depart id -> (
-    match Session.depart t.session id with
+    match Session.depart t.session ?req id with
     | Ok (Json.Obj fields) -> Ok (Protocol.ok fields)
     | Ok other -> Ok (Protocol.ok [ ("result", other) ])
     | Error _ as e -> e)
@@ -173,8 +174,13 @@ let run_job t conn (env : Protocol.envelope) ~enqueued_ns =
   end
   else begin
     let result =
-      try execute t env.Protocol.request
-      with e -> Error ("internal", Printexc.to_string e)
+      try execute t ?req:env.Protocol.req env.Protocol.request with
+      | Faults.Crash point ->
+        (* A planned crash must take the whole process down as abruptly
+           as kill -9 would: no reply, no drain, no at_exit cleanup. *)
+        prerr_endline ("tdmd serve: injected crash at " ^ point);
+        Unix._exit 137
+      | e -> Error ("internal", Printexc.to_string e)
     in
     (match result with
     | Ok _ -> count t "completed" 1

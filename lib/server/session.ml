@@ -1,26 +1,45 @@
 module Json = Tdmd_obs.Json
+module Tel = Tdmd_obs.Telemetry
+
+(* ------------------------------------------------------------------ *)
+(* Durability configuration                                            *)
+(* ------------------------------------------------------------------ *)
+
+type durability = {
+  dir : string;
+  fsync : Journal.fsync_policy;
+  snapshot_every : int;
+  faults : Faults.t;
+}
+
+let durability ?(fsync = Journal.Always) ?(snapshot_every = 0) ?(faults = Faults.none)
+    dir =
+  if snapshot_every < 0 then
+    invalid_arg "Session.durability: snapshot_every must be >= 0";
+  { dir; fsync; snapshot_every; faults }
+
+let snapshot_file cfg = Filename.concat cfg.dir "snapshot.json"
+let journal_file cfg epoch = Filename.concat cfg.dir (Printf.sprintf "journal-%d.wal" epoch)
+
+type durable = {
+  cfg : durability;
+  mutable journal : Journal.t;
+  mutable epoch : int;
+  mutable since_snapshot : int;
+}
 
 type t = {
   tree : Tdmd.Instance.Tree.t option;
   general : Tdmd.Instance.t;
   churn : Tdmd.Incremental.t;
   lock : Mutex.t;
+  (* Idempotency ids of applied mutating ops.  Kept even without a
+     journal — client retries exist either way — and snapshotted /
+     rebuilt from the journal when one is configured. *)
+  dedup : (string, unit) Hashtbl.t;
+  dtel : Tel.t;  (* journal + dedup + snapshot counters, under the lock *)
+  durable : durable option;
 }
-
-let make ~churn_k tree general =
-  {
-    tree;
-    general;
-    churn =
-      Tdmd.Incremental.create ~graph:general.Tdmd.Instance.graph
-        ~lambda:general.Tdmd.Instance.lambda ~k:churn_k;
-    lock = Mutex.create ();
-  }
-
-let of_general ~churn_k inst = make ~churn_k None inst
-
-let of_tree ~churn_k tree =
-  make ~churn_k (Some tree) (Tdmd.Instance.Tree.to_general tree)
 
 let general t = t.general
 
@@ -29,6 +48,336 @@ type reply = (Json.t, string * string) result
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let flow_to_json (f : Tdmd_flow.Flow.t) =
+  Json.Obj
+    [
+      ("id", Json.Int f.Tdmd_flow.Flow.id);
+      ("rate", Json.Int f.Tdmd_flow.Flow.rate);
+      ( "path",
+        Json.List
+          (Array.to_list (Array.map (fun v -> Json.Int v) f.Tdmd_flow.Flow.path))
+      );
+    ]
+
+let snapshot_json t d =
+  let churn = t.churn in
+  let ctel = Tdmd.Incremental.telemetry churn in
+  Json.Obj
+    [
+      ("format", Json.Int 1);
+      ("epoch", Json.Int d.epoch);
+      ("k", Json.Int (Tel.get_count ctel "budget"));
+      ("static", Protocol.instance_to_json t.general);
+      ( "live",
+        Json.Obj
+          [
+            ( "flows",
+              Json.List (List.map flow_to_json (Tdmd.Incremental.flows churn)) );
+            ( "placed",
+              Json.List
+                (List.map
+                   (fun v -> Json.Int v)
+                   (Tdmd.Incremental.placed_order churn)) );
+            ("moves", Json.Int (Tdmd.Incremental.moves churn));
+            ("arrivals", Json.Int (Tel.get_count ctel "arrivals"));
+            ("departures", Json.Int (Tel.get_count ctel "departures"));
+          ] );
+      ( "dedup",
+        Json.List
+          (List.sort compare
+             (Hashtbl.fold (fun k () acc -> Json.String k :: acc) t.dedup []))
+      );
+    ]
+
+let ( let* ) = Result.bind
+
+let int_field json name =
+  match Json.member name json with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "snapshot: bad field %S" name)
+
+let parse_snapshot json =
+  let* format = int_field json "format" in
+  if format <> 1 then Error (Printf.sprintf "snapshot: unsupported format %d" format)
+  else begin
+    let* epoch = int_field json "epoch" in
+    let* k = int_field json "k" in
+    let* static =
+      match Json.member "static" json with
+      | Some s -> Protocol.instance_of_json s
+      | None -> Error "snapshot: missing field \"static\""
+    in
+    let* live =
+      match Json.member "live" json with
+      | Some l -> Ok l
+      | None -> Error "snapshot: missing field \"live\""
+    in
+    let* flows =
+      match Json.member "flows" live with
+      | Some (Json.List fs) ->
+        List.fold_right
+          (fun f acc ->
+            let* acc = acc in
+            let* id = int_field f "id" in
+            let* rate = int_field f "rate" in
+            let* path =
+              match Json.member "path" f with
+              | Some (Json.List vs) ->
+                List.fold_right
+                  (fun v tail ->
+                    let* tail = tail in
+                    match v with
+                    | Json.Int i -> Ok (i :: tail)
+                    | _ -> Error "snapshot: flow path must be integers")
+                  vs (Ok [])
+              | _ -> Error "snapshot: flow missing \"path\""
+            in
+            match Tdmd_flow.Flow.make ~id ~rate ~path with
+            | f -> Ok (f :: acc)
+            | exception Invalid_argument msg -> Error ("snapshot: " ^ msg))
+          fs (Ok [])
+      | _ -> Error "snapshot: live missing \"flows\""
+    in
+    let* placed =
+      match Json.member "placed" live with
+      | Some (Json.List vs) ->
+        List.fold_right
+          (fun v acc ->
+            let* acc = acc in
+            match v with
+            | Json.Int i -> Ok (i :: acc)
+            | _ -> Error "snapshot: placed must be integers")
+          vs (Ok [])
+      | _ -> Error "snapshot: live missing \"placed\""
+    in
+    let* moves = int_field live "moves" in
+    let* arrivals = int_field live "arrivals" in
+    let* departures = int_field live "departures" in
+    let* dedup =
+      match Json.member "dedup" json with
+      | Some (Json.List vs) ->
+        List.fold_right
+          (fun v acc ->
+            let* acc = acc in
+            match v with
+            | Json.String s -> Ok (s :: acc)
+            | _ -> Error "snapshot: dedup entries must be strings")
+          vs (Ok [])
+      | None -> Ok []
+      | Some _ -> Error "snapshot: field \"dedup\" must be a list"
+    in
+    Ok (epoch, k, static, flows, placed, moves, arrivals, departures, dedup)
+  end
+
+(* Crash-safe snapshot write: tmp + fsync + rename + directory fsync.
+   Journal segment rotation happens around it (see [write_snapshot]) so
+   that a crash at any point leaves either the old (snapshot, segment)
+   pair or the new one — never a snapshot whose ops are still in the
+   live segment. *)
+let write_snapshot_file cfg json =
+  let tmp = snapshot_file cfg ^ ".tmp" in
+  let payload = Bytes.of_string (Json.to_string json ^ "\n") in
+  Faults.hit cfg.faults "snap.pre_write";
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Protocol.write_all ~faults:cfg.faults ~point:"snap.write" fd payload;
+      Unix.fsync fd);
+  Faults.hit cfg.faults "snap.pre_rename";
+  Sys.rename tmp (snapshot_file cfg);
+  (* Make the rename itself durable. *)
+  (try
+     let dfd = Unix.openfile cfg.dir [ Unix.O_RDONLY ] 0 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+       (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+   with Unix.Unix_error _ -> ());
+  Faults.hit cfg.faults "snap.post_rename";
+  Bytes.length payload
+
+(* Under the session lock.  Ordering: (1) open + lock the next segment,
+   (2) snapshot pointing at it, (3) retire the old segment.  A crash
+   between any two steps recovers consistently (the snapshot names the
+   segment to replay). *)
+let write_snapshot t d =
+  let next_epoch = d.epoch + 1 in
+  let next_journal, ops =
+    Journal.open_append ~faults:d.cfg.faults ~tel:t.dtel ~fsync:d.cfg.fsync
+      (journal_file d.cfg next_epoch)
+  in
+  (* A leftover segment from a crashed snapshot attempt must be empty of
+     meaning: its ops were never referenced by any snapshot.  Drop them. *)
+  if ops <> [] then Journal.reset next_journal;
+  let old_epoch = d.epoch in
+  let old_journal = d.journal in
+  d.epoch <- next_epoch;
+  let bytes =
+    match write_snapshot_file d.cfg (snapshot_json t d) with
+    | b -> b
+    | exception (Faults.Crash _ as e) ->
+      (* A simulated kill -9 must not clean up: recovery has to cope
+         with the half-rotated directory exactly as a real crash leaves
+         it (old snapshot + old segment still present, next segment
+         half-born). *)
+      raise e
+    | exception e ->
+      (* Snapshot failed: stay on the old segment, next attempt retries. *)
+      d.epoch <- old_epoch;
+      Journal.close next_journal;
+      (try Sys.remove (journal_file d.cfg next_epoch) with Sys_error _ -> ());
+      raise e
+  in
+  d.journal <- next_journal;
+  Journal.close old_journal;
+  (try Sys.remove (journal_file d.cfg old_epoch) with Sys_error _ -> ());
+  Faults.hit d.cfg.faults "snap.post_retire";
+  d.since_snapshot <- 0;
+  Tel.count t.dtel "snapshots" 1;
+  Tel.gauge t.dtel "snapshot_bytes" (float_of_int bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make ?durable ?(dtel = Tel.create ()) ~churn_k tree general =
+  let churn =
+    Tdmd.Incremental.create ~graph:general.Tdmd.Instance.graph
+      ~lambda:general.Tdmd.Instance.lambda ~k:churn_k
+  in
+  {
+    tree;
+    general;
+    churn;
+    lock = Mutex.create ();
+    dedup = Hashtbl.create 64;
+    dtel;
+    durable;
+  }
+
+let init_durable ~dtel cfg =
+  if Sys.file_exists (snapshot_file cfg) then
+    raise
+      (Sys_error
+         (Printf.sprintf
+            "%s already holds a snapshot — recover from it instead of starting fresh"
+            cfg.dir));
+  if not (Sys.file_exists cfg.dir) then Unix.mkdir cfg.dir 0o755;
+  let journal, ops =
+    Journal.open_append ~faults:cfg.faults ~tel:dtel ~fsync:cfg.fsync
+      (journal_file cfg 0)
+  in
+  (* Ops in an epoch-0 segment with no snapshot would replay from the
+     empty initial state; the seed snapshot written right after this
+     rotates them away anyway. *)
+  ignore ops;
+  { cfg; journal; epoch = 0; since_snapshot = 0 }
+
+let of_general ?durability:dcfg ~churn_k inst =
+  match dcfg with
+  | None -> make ~churn_k None inst
+  | Some cfg ->
+    let dtel = Tel.create () in
+    let d = init_durable ~dtel cfg in
+    let t = make ~durable:d ~dtel ~churn_k None inst in
+    (* Seed snapshot: from here on the directory is self-contained. *)
+    locked t (fun () -> write_snapshot t d);
+    t
+
+let of_tree ?durability:dcfg ~churn_k tree_inst =
+  let general = Tdmd.Instance.Tree.to_general tree_inst in
+  match dcfg with
+  | None -> make ~churn_k (Some tree_inst) general
+  | Some cfg ->
+    let dtel = Tel.create () in
+    let d = init_durable ~dtel cfg in
+    let t = make ~durable:d ~dtel ~churn_k (Some tree_inst) general in
+    locked t (fun () -> write_snapshot t d);
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let apply_op churn = function
+  | Journal.Arrive { id; rate; path; req = _ } ->
+    Tdmd.Incremental.arrive churn (Tdmd_flow.Flow.make ~id ~rate ~path)
+  | Journal.Depart { flow_id; req = _ } -> Tdmd.Incremental.depart churn flow_id
+
+let op_req = function
+  | Journal.Arrive { req; _ } | Journal.Depart { req; _ } -> req
+
+let recover cfg =
+  let* json =
+    match read_file (snapshot_file cfg) with
+    | contents -> Json.of_string contents
+    | exception Sys_error msg -> Error ("cannot read snapshot: " ^ msg)
+  in
+  let* epoch, k, static, flows, placed, moves, arrivals, departures, dedup_keys =
+    parse_snapshot json
+  in
+  let* churn =
+    match
+      Tdmd.Incremental.restore ~graph:static.Tdmd.Instance.graph
+        ~lambda:static.Tdmd.Instance.lambda ~k ~flows ~placed ~moves ~arrivals
+        ~departures
+    with
+    | churn -> Ok churn
+    | exception Invalid_argument msg -> Error ("snapshot state invalid: " ^ msg)
+  in
+  let dtel = Tel.create () in
+  let* journal, ops =
+    match
+      Journal.open_append ~faults:cfg.faults ~tel:dtel ~fsync:cfg.fsync
+        (journal_file cfg epoch)
+    with
+    | r -> Ok r
+    | exception Sys_error msg -> Error msg
+  in
+  let dedup = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace dedup k ()) dedup_keys;
+  let* () =
+    try
+      List.iter
+        (fun op ->
+          apply_op churn op;
+          match op_req op with
+          | Some r -> Hashtbl.replace dedup r ()
+          | None -> ())
+        ops;
+      Ok ()
+    with Invalid_argument msg ->
+      Journal.close journal;
+      Error ("journal replay failed: " ^ msg)
+  in
+  let d = { cfg; journal; epoch; since_snapshot = List.length ops } in
+  let t =
+    {
+      tree = None;
+      general = static;
+      churn;
+      lock = Mutex.create ();
+      dedup;
+      dtel;
+      durable = Some d;
+    }
+  in
+  Ok t
+
+(* ------------------------------------------------------------------ *)
+(* Solve dispatch (unchanged by durability)                            *)
+(* ------------------------------------------------------------------ *)
 
 let outcome_fields ~algo ~k ~seed ~target
     { Tdmd.Solver_intf.placement; bandwidth; feasible; telemetry } =
@@ -77,6 +426,10 @@ let solve t ~algo ~k ~seed ~target =
     | exception Invalid_argument msg -> Error ("bad-request", msg)
     | exception Failure msg -> Error ("bad-request", msg))
 
+(* ------------------------------------------------------------------ *)
+(* Churn (journaled when durable)                                      *)
+(* ------------------------------------------------------------------ *)
+
 let churn_fields_unlocked t =
   let placement = Tdmd.Incremental.placement t.churn in
   [
@@ -99,24 +452,106 @@ let churn_fields_unlocked t =
 
 let churn_stats t = locked t (fun () -> churn_fields_unlocked t)
 
-let arrive t ~id ~rate ~path =
+(* Dedup check, WAL append, apply, snapshot — all under the session
+   lock.  The journal record precedes the state change (write-ahead):
+   if we die between the two, replay applies the op and its [req] lands
+   in the rebuilt dedup table, so the client's retry is suppressed and
+   observes the applied state.  Callers must finish all validation
+   before calling: nothing may enter the journal that [apply] (and
+   hence replay) would refuse. *)
+let dedup_reply t ~op_name =
+  Tel.count t.dtel "dedup_hits" 1;
+  Ok
+    (Json.Obj
+       (("op", Json.String op_name)
+       :: ("dedup", Json.Bool true)
+       :: churn_fields_unlocked t))
+
+let journaled t ~req ~op_name ~(op : unit -> Journal.op) ~(apply : unit -> unit) =
+  match req with
+  | Some r when Hashtbl.mem t.dedup r -> dedup_reply t ~op_name
+  | _ ->
+    (match t.durable with
+    | Some d -> Journal.append d.journal (op ())
+    | None -> ());
+    apply ();
+    (match req with Some r -> Hashtbl.replace t.dedup r () | None -> ());
+    (match t.durable with
+    | Some d ->
+      d.since_snapshot <- d.since_snapshot + 1;
+      if d.cfg.snapshot_every > 0 && d.since_snapshot >= d.cfg.snapshot_every
+      then write_snapshot t d
+    | None -> ());
+    Ok (Json.Obj (("op", Json.String op_name) :: churn_fields_unlocked t))
+
+let arrive t ?req ~id ~rate ~path () =
   match Tdmd_flow.Flow.make ~id ~rate ~path with
   | exception Invalid_argument msg -> Error ("bad-request", msg)
   | flow ->
     locked t (fun () ->
+        (* Dedup before the duplicate-id check: a retry of an applied
+           arrive would otherwise be answered "conflict" — with its own
+           flow. *)
+        match req with
+        | Some r when Hashtbl.mem t.dedup r -> dedup_reply t ~op_name:"arrive"
+        | _ ->
         if
           List.exists
             (fun (f : Tdmd_flow.Flow.t) -> f.Tdmd_flow.Flow.id = id)
             (Tdmd.Incremental.flows t.churn)
         then Error ("conflict", Printf.sprintf "flow %d is already active" id)
         else begin
-          match Tdmd.Incremental.arrive t.churn flow with
-          | () ->
-            Ok (Json.Obj (("op", Json.String "arrive") :: churn_fields_unlocked t))
-          | exception Invalid_argument msg -> Error ("bad-request", msg)
+          match Tdmd_flow.Flow.validate t.general.Tdmd.Instance.graph flow with
+          | Error msg -> Error ("bad-request", msg)
+          | Ok () ->
+            journaled t ~req ~op_name:"arrive"
+              ~op:(fun () -> Journal.Arrive { id; rate; path; req })
+              ~apply:(fun () -> Tdmd.Incremental.arrive t.churn flow)
         end)
 
-let depart t id =
+let depart t ?req id =
   locked t (fun () ->
-      Tdmd.Incremental.depart t.churn id;
-      Ok (Json.Obj (("op", Json.String "depart") :: churn_fields_unlocked t)))
+      journaled t ~req ~op_name:"depart"
+        ~op:(fun () -> Journal.Depart { flow_id = id; req })
+        ~apply:(fun () -> Tdmd.Incremental.depart t.churn id))
+
+(* ------------------------------------------------------------------ *)
+(* Durability stats and shutdown                                       *)
+(* ------------------------------------------------------------------ *)
+
+let durability_stats t =
+  locked t (fun () ->
+      match t.durable with
+      | None -> []
+      | Some d ->
+        let c name = Json.Int (Tel.get_count t.dtel name) in
+        [
+          ( "durability",
+            Json.Obj
+              [
+                ("dir", Json.String d.cfg.dir);
+                ( "fsync",
+                  Json.String (Journal.fsync_policy_to_string d.cfg.fsync) );
+                ("epoch", Json.Int d.epoch);
+                ("journal_bytes", Json.Int (Journal.size_bytes d.journal));
+                ("wal_appends", c "wal_appends");
+                ("wal_fsyncs", c "wal_fsyncs");
+                ("wal_replayed", c "wal_replayed");
+                ("wal_torn_truncations", c "wal_torn_truncations");
+                ("snapshots", c "snapshots");
+                ("dedup_size", Json.Int (Hashtbl.length t.dedup));
+                ("dedup_hits", c "dedup_hits");
+              ] );
+        ])
+
+let durability_telemetry t = t.dtel
+
+let close t =
+  locked t (fun () ->
+      match t.durable with
+      | None -> ()
+      | Some d ->
+        (* Final snapshot: restart after a clean shutdown replays
+           nothing. *)
+        write_snapshot t d;
+        Journal.close d.journal)

@@ -6,17 +6,75 @@
     mutate.  All mutating and snapshot-taking operations are serialized
     behind an internal mutex, so session methods may be called from any
     worker domain; [solve] releases the lock before running the solver,
-    so long solves never block churn. *)
+    so long solves never block churn.
+
+    {2 Durability}
+
+    With a {!durability} config the session becomes crash-safe: every
+    churn op is appended to a write-ahead journal ({!Journal}) {e before}
+    it mutates the engine, and the engine is periodically serialized to
+    an atomic snapshot that truncates the journal.  {!recover} rebuilds
+    a bit-identical session from the directory after a crash — same
+    answers to every query and the same behaviour for every future
+    event.  Mutating requests carrying an idempotency id (the envelope
+    ["req"] field) are deduplicated across the crash, so a client retry
+    of an op the server applied just before dying is suppressed rather
+    than applied twice. *)
 
 type t
 
-val of_general : churn_k:int -> Tdmd.Instance.t -> t
-(** Serve a general instance: tree-only solvers are refused with a
-    registry listing. *)
+(** {1 Durability configuration} *)
 
-val of_tree : churn_k:int -> Tdmd.Instance.Tree.t -> t
+type durability = {
+  dir : string;  (** journal + snapshot directory, created if missing *)
+  fsync : Journal.fsync_policy;
+  snapshot_every : int;
+      (** write a snapshot (and truncate the journal) after this many
+          journaled ops; [0] = only at startup and {!close} *)
+  faults : Faults.t;  (** deterministic fault plan for tests *)
+}
+
+val durability :
+  ?fsync:Journal.fsync_policy ->
+  ?snapshot_every:int ->
+  ?faults:Faults.t ->
+  string ->
+  durability
+(** [durability dir] with [fsync] defaulting to {!Journal.Always} and
+    [snapshot_every] to [0].
+    @raise Invalid_argument if [snapshot_every < 0]. *)
+
+val snapshot_file : durability -> string
+(** [dir/snapshot.json] — where the atomic snapshot lives. *)
+
+val journal_file : durability -> int -> string
+(** [journal_file cfg epoch] is [dir/journal-<epoch>.wal].  Segments are
+    rotated by epoch at each snapshot; the snapshot records which epoch
+    continues it, so a crash mid-rotation recovers consistently. *)
+
+(** {1 Construction} *)
+
+val of_general : ?durability:durability -> churn_k:int -> Tdmd.Instance.t -> t
+(** Serve a general instance: tree-only solvers are refused with a
+    registry listing.  With [?durability] the directory is initialised
+    (journal opened + locked, seed snapshot written) so it is
+    self-contained from the first op.
+    @raise Sys_error if the directory already holds a snapshot (use
+    {!recover}) or the journal is locked by another process. *)
+
+val of_tree : ?durability:durability -> churn_k:int -> Tdmd.Instance.Tree.t -> t
 (** Serve a tree instance: every registry name resolves (general
-    solvers see the {!Tdmd.Instance.Tree.to_general} view). *)
+    solvers see the {!Tdmd.Instance.Tree.to_general} view).  Note the
+    snapshot codec stores the general view only, so {!recover} of a
+    tree session serves it as a general session. *)
+
+val recover : durability -> (t, string) result
+(** Rebuild a session from [cfg.dir]: parse the snapshot, restore the
+    churn engine ({!Tdmd.Incremental.restore}), then replay the journal
+    segment the snapshot names — truncating a torn tail — and rebuild
+    the dedup table from both.  The result is bit-identical to the
+    pre-crash session.  Takes over the journal (exclusive lock) and
+    continues appending to it. *)
 
 val general : t -> Tdmd.Instance.t
 (** The static instance's general view (used by tests and the bench to
@@ -33,15 +91,33 @@ val solve :
     Response fields: ["algo"], ["k"], ["seed"], ["on"], ["placement"]
     (sorted vertex list), ["bandwidth"], ["feasible"], ["telemetry"]. *)
 
-val arrive : t -> id:int -> rate:int -> path:int list -> reply
+val arrive : t -> ?req:string -> id:int -> rate:int -> path:int list -> unit -> reply
 (** Feed one arrival to the churn engine.  ["conflict"] on duplicate
     flow ids, ["bad-request"] on paths not in the graph.  Response
-    carries the post-event deployment summary (see {!churn_stats}). *)
+    carries the post-event deployment summary (see {!churn_stats}).
+    With [?req], the op is journaled before it is applied and
+    deduplicated: a second call with the same [req] is a no-op that
+    returns the current summary plus ["dedup": true]. *)
 
-val depart : t -> int -> reply
+val depart : t -> ?req:string -> int -> reply
 (** Feed one departure (unknown ids are a no-op, as in
-    {!Tdmd.Incremental.depart}). *)
+    {!Tdmd.Incremental.depart}).  [?req] as in {!arrive}. *)
 
 val churn_stats : t -> (string * Protocol.Json.t) list
 (** ["flows"], ["placement"], ["bandwidth"], ["feasible"], ["moves"],
     ["arrivals"], ["departures"] of the churn engine, under the lock. *)
+
+val durability_stats : t -> (string * Protocol.Json.t) list
+(** A single ["durability"] field (empty list when the session is not
+    durable): dir, fsync policy, epoch, journal bytes, WAL/replay/
+    truncation/snapshot/dedup counters. *)
+
+val durability_telemetry : t -> Tdmd_obs.Telemetry.t
+(** Counters behind {!durability_stats} — ["wal_appends"],
+    ["wal_bytes"], ["wal_fsyncs"], ["wal_replayed"],
+    ["wal_torn_truncations"], ["wal_torn_bytes"], ["snapshots"],
+    ["dedup_hits"].  Read it only while the session is quiescent. *)
+
+val close : t -> unit
+(** Durable sessions: write a final snapshot (so a restart replays
+    nothing) and release the journal.  Harmless no-op otherwise. *)

@@ -21,5 +21,6 @@ let () =
       ("netsim-chain", Test_netsim_chain.suite);
       ("sim", Test_sim.suite);
       ("server", Test_server.suite);
+      ("journal", Test_journal.suite);
       ("experiments", Test_experiments.suite);
     ]

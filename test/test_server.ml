@@ -335,6 +335,45 @@ let test_churn_ops () =
       | None -> Alcotest.fail "stats: no churn section");
       Client.close c)
 
+(* Idempotency over the wire: a mutating request retried with the same
+   ["req"] envelope field is answered from the dedup table, not applied
+   again — the contract Client.rpc_retry leans on. *)
+let test_dedup_over_the_wire () =
+  let session = Session.of_general ~churn_k:2 (tiny_general ()) in
+  with_server session (fun addr _server ->
+      let c = Client.connect addr in
+      let first =
+        expect_ok "arrive"
+          (Client.rpc c ~req:"wire-1"
+             (P.Arrive { id = 7; rate = 3; path = [ 0; 1; 2; 3 ] }))
+      in
+      Alcotest.(check int) "applied" 1 (int_field "arrive" "flows" first);
+      let retry =
+        expect_ok "retried arrive"
+          (Client.rpc c ~req:"wire-1"
+             (P.Arrive { id = 7; rate = 3; path = [ 0; 1; 2; 3 ] }))
+      in
+      Alcotest.(check bool) "marked dedup" true
+        (Json.member "dedup" retry = Some (Json.Bool true));
+      Alcotest.(check int) "not applied twice" 1
+        (int_field "retry" "flows" retry);
+      (* Without a req the same frame is a genuine duplicate. *)
+      ignore
+        (expect_error "no req, no dedup" "conflict"
+           (Client.rpc c (P.Arrive { id = 7; rate = 3; path = [ 0; 1; 2; 3 ] })));
+      (* rpc_retry generates one req for all its attempts; against a
+         healthy server it just behaves like rpc. *)
+      let via_retry =
+        expect_ok "rpc_retry depart"
+          (Client.rpc_retry c (P.Depart 7))
+      in
+      Alcotest.(check int) "departed" 0 (int_field "depart" "flows" via_retry);
+      let stats = expect_ok "stats" (Client.rpc c P.Stats) in
+      (match Json.member "durability" stats with
+      | Some _ -> Alcotest.fail "non-durable session must not report durability"
+      | None -> ());
+      Client.close c)
+
 (* ------------------------------------------------------------------ *)
 (* 6. Graceful drain: queued work is answered, then the door closes     *)
 (* ------------------------------------------------------------------ *)
@@ -406,6 +445,8 @@ let suite =
     Alcotest.test_case "malformed frames and unknown names" `Quick
       test_malformed_and_unknown;
     Alcotest.test_case "churn ops over the wire" `Quick test_churn_ops;
+    Alcotest.test_case "idempotent retries dedup over the wire" `Quick
+      test_dedup_over_the_wire;
     Alcotest.test_case "graceful drain answers queued work" `Quick
       test_graceful_drain;
   ]
