@@ -1,6 +1,6 @@
 exception Crash of string
 
-type kind = Crash_k | Eintr_k | Short_k | Corrupt_k
+type kind = Crash_k | Eintr_k | Short_k | Corrupt_k | Fail_k
 
 type directive = { kind : kind; point : string; nth : int }
 
@@ -26,6 +26,7 @@ let kind_of_string = function
   | "eintr" -> Some Eintr_k
   | "short" -> Some Short_k
   | "corrupt" -> Some Corrupt_k
+  | "fail" -> Some Fail_k
   | _ -> None
 
 let of_spec spec =
@@ -114,6 +115,13 @@ let hit t point =
 
 let eintr t point =
   List.exists (fun d -> d.kind = Eintr_k) (fire t point)
+
+(* Its own point namespace ([POINT.fail]) so arming a failure does not
+   shift the hit counts that [short]/[eintr] directives at [POINT] were
+   tuned against. *)
+let fail t point =
+  if List.exists (fun d -> d.kind = Fail_k) (fire t (point ^ ".fail")) then
+    raise (Unix.Unix_error (Unix.EIO, "write", point))
 
 let clamp t point len =
   let fired = fire t point in

@@ -16,7 +16,12 @@
     - {b short}: clamp one read/write to a strict prefix, exercising
       short-I/O handling;
     - {b corrupt}: flip one pseudo-random byte of an in-flight buffer
-      (CRC and framing must catch it downstream).
+      (CRC and framing must catch it downstream);
+    - {b fail}: make one I/O pass raise [Unix_error (EIO, _, _)] — a
+      deterministic stand-in for [ENOSPC]/media errors mid-record.
+      [fail] directives listen at [POINT.fail] (e.g.
+      [fail@wal.write.fail:2]) so they do not shift the hit counts of
+      [short]/[eintr] directives armed at [POINT].
 
     Spec grammar (also accepted from the [TDMD_FAULTS] environment
     variable): semicolon-separated [KIND@POINT[:NTH]] with an optional
@@ -55,6 +60,12 @@ val hit : t -> string -> unit
 val eintr : t -> string -> bool
 (** [true] when the caller should simulate one [EINTR] return at this
     point (the hit is consumed). *)
+
+val fail : t -> string -> unit
+(** Pass the [POINT.fail] companion point of [point].
+    @raise Unix.Unix_error [(EIO, _, point)] when a [fail] directive
+    fires — the caller's normal error path must handle it exactly as a
+    real I/O failure. *)
 
 val clamp : t -> string -> int -> int
 (** [clamp t point len] is how many bytes the caller may actually

@@ -91,6 +91,13 @@ let set_be32 b off v =
 let encode op =
   let payload = Json.to_string (op_to_json op) in
   let len = String.length payload in
+  (* Replay treats len > max_record as corruption, so writing such a
+     record would make it — and every record after it — unreadable.
+     Refuse before anything touches the disk. *)
+  if len > max_record then
+    invalid_arg
+      (Printf.sprintf "journal record: %d-byte payload exceeds the %d-byte limit"
+         len max_record);
   let b = Bytes.create (8 + len) in
   set_be32 b 0 len;
   set_be32 b 4 (Crc32.string payload);
@@ -157,6 +164,7 @@ type t = {
   mutable unsynced : int;  (* records since last fsync *)
   mutable written : int;
   mutable size : int;      (* valid bytes on disk *)
+  mutable poisoned : bool; (* invariant lost: refuse further appends *)
 }
 
 let count t name n = Tdmd_obs.Telemetry.count t.tel name n
@@ -221,7 +229,10 @@ let open_append ?(faults = Faults.none) ?tel ~fsync path =
     Unix.ftruncate fd good
   end;
   ignore (Unix.lseek fd good Unix.SEEK_SET);
-  let t = { fd; path; fsync; faults; tel; unsynced = 0; written = 0; size = good } in
+  let t =
+    { fd; path; fsync; faults; tel; unsynced = 0; written = 0; size = good;
+      poisoned = false }
+  in
   (t, ops)
 
 let do_fsync t =
@@ -236,17 +247,47 @@ let maybe_fsync t =
   | Every_n n -> if t.unsynced >= n then do_fsync t
 
 let append t op =
+  if t.poisoned then
+    raise
+      (Sys_error
+         (Printf.sprintf
+            "journal %s: poisoned by an earlier write failure; recover before \
+             accepting new ops"
+            t.path));
   let record = Bytes.of_string (encode op) in
   Faults.hit t.faults "wal.append.pre_write";
   Faults.mangle t.faults "wal.write" record;
-  Protocol.write_all ~faults:t.faults ~point:"wal.write" t.fd record;
+  (try Protocol.write_all ~faults:t.faults ~point:"wal.write" t.fd record with
+  | Faults.Crash _ as e ->
+    (* Simulated kill -9: leave the torn tail for recovery to find. *)
+    raise e
+  | e ->
+    (* A prefix of the record may be on disk and the fd offset is
+       mid-record.  Restore the append invariant — valid bytes = t.size,
+       offset at t.size — so every later acked record is still readable
+       on replay; if even that fails, no further append can be trusted
+       to land at a decodable boundary. *)
+    (try
+       Unix.ftruncate t.fd t.size;
+       ignore (Unix.lseek t.fd t.size Unix.SEEK_SET)
+     with _ -> t.poisoned <- true);
+    count t "wal_append_failures" 1;
+    raise e);
   t.size <- t.size + Bytes.length record;
   t.written <- t.written + 1;
   t.unsynced <- t.unsynced + 1;
   count t "wal_appends" 1;
   count t "wal_bytes" (Bytes.length record);
   Faults.hit t.faults "wal.append.post_write";
-  maybe_fsync t;
+  (try maybe_fsync t with
+  | Faults.Crash _ as e -> raise e
+  | e ->
+    (* The record is intact on disk but its durability is unknown, and a
+       failed fsync must not be retried as if nothing happened (the
+       kernel may have dropped the dirty pages).  Stop acking. *)
+    t.poisoned <- true;
+    count t "wal_append_failures" 1;
+    raise e);
   Faults.hit t.faults "wal.append.post_fsync"
 
 let sync t = if t.unsynced > 0 then do_fsync t
@@ -260,6 +301,7 @@ let reset t =
 
 let records_written t = t.written
 let size_bytes t = t.size
+let poisoned t = t.poisoned
 
 let close t =
   (match t.fsync with Never -> () | Always | Every_n _ -> sync t);

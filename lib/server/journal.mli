@@ -31,8 +31,15 @@ type op =
 val op_to_json : op -> Tdmd_obs.Json.t
 val op_of_json : Tdmd_obs.Json.t -> (op, string) result
 
+val max_record : int
+(** Upper bound (1 MiB) on a record's encoded payload, enforced
+    identically on both sides: {!encode} refuses to produce a larger
+    record, and replay treats a larger decoded length as corruption. *)
+
 val encode : op -> string
-(** The full framed record (header + payload) as written to disk. *)
+(** The full framed record (header + payload) as written to disk.
+    @raise Invalid_argument when the payload exceeds {!max_record} — an
+    op that encode accepts is always readable on replay. *)
 
 (** {1 Fsync policy} *)
 
@@ -66,9 +73,22 @@ val open_append :
     another process. *)
 
 val append : t -> op -> unit
-(** Write one record and apply the fsync policy.
-    @raise Unix.Unix_error on I/O failure, [Faults.Crash] at an armed
-    crash-point. *)
+(** Write one record and apply the fsync policy.  Failure-atomic: when
+    append raises (other than [Faults.Crash], which stands in for the
+    process dying), the file is truncated back to its pre-call length
+    and the offset restored, so a half-written record can never sit in
+    front of later successful appends and silently eat them on replay.
+    If that restoration itself fails — or an [fsync] fails, leaving the
+    durability of acked records unknown — the journal is {e poisoned}
+    and every further append raises [Sys_error] until a fresh
+    open/recovery.
+    @raise Invalid_argument when the op exceeds {!max_record} (nothing
+    is written), [Unix.Unix_error] on I/O failure, [Sys_error] when
+    poisoned, [Faults.Crash] at an armed crash-point. *)
+
+val poisoned : t -> bool
+(** [true] once a failed append/fsync has lost the append invariant;
+    the journal then refuses all further appends. *)
 
 val sync : t -> unit
 (** Unconditional fsync (used before a snapshot truncates the log). *)
@@ -98,4 +118,5 @@ val replay : string -> (op list * int, string) result
     Counters accumulated into the [tel] passed to {!open_append}:
     ["wal_appends"], ["wal_bytes"], ["wal_fsyncs"], ["wal_replayed"]
     (records recovered at open), ["wal_torn_truncations"] (1 when a torn
-    tail was cut), ["wal_torn_bytes"]. *)
+    tail was cut), ["wal_torn_bytes"], ["wal_append_failures"] (appends
+    that raised after reaching the disk path). *)

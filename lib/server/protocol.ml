@@ -56,6 +56,7 @@ let write_all ?(faults = Faults.none) ?(point = "sock.write") fd bytes =
   let off = ref 0 in
   while !off < len do
     let want = len - !off in
+    if Faults.enabled faults then Faults.fail faults point;
     let want = if Faults.enabled faults then Faults.clamp faults point want else want in
     let simulated_eintr = Faults.enabled faults && Faults.eintr faults point in
     if not simulated_eintr then begin

@@ -35,11 +35,32 @@ type t = {
   lock : Mutex.t;
   (* Idempotency ids of applied mutating ops.  Kept even without a
      journal — client retries exist either way — and snapshotted /
-     rebuilt from the journal when one is configured. *)
+     rebuilt from the journal when one is configured.  Bounded: ids are
+     remembered in arrival order and the oldest evicted past
+     [dedup_cap], so memory and snapshot size stay O(cap) under
+     unbounded churn (a retry must land within the last [cap] mutating
+     ops to be suppressed). *)
   dedup : (string, unit) Hashtbl.t;
+  dedup_order : string Queue.t;  (* insertion order, for eviction *)
+  dedup_cap : int;
   dtel : Tel.t;  (* journal + dedup + snapshot counters, under the lock *)
   durable : durable option;
 }
+
+let default_dedup_cap = 8192
+
+let dedup_remember ~tel ~cap table order r =
+  if not (Hashtbl.mem table r) then begin
+    Hashtbl.replace table r ();
+    Queue.push r order;
+    while Hashtbl.length table > cap do
+      let oldest = Queue.pop order in
+      Hashtbl.remove table oldest;
+      Tel.count tel "dedup_evictions" 1
+    done
+  end
+
+let remember t r = dedup_remember ~tel:t.dtel ~cap:t.dedup_cap t.dedup t.dedup_order r
 
 let general t = t.general
 
@@ -87,10 +108,12 @@ let snapshot_json t d =
             ("arrivals", Json.Int (Tel.get_count ctel "arrivals"));
             ("departures", Json.Int (Tel.get_count ctel "departures"));
           ] );
+      (* Insertion order, oldest first: recovery must rebuild the same
+         eviction order, not just the same set. *)
       ( "dedup",
         Json.List
-          (List.sort compare
-             (Hashtbl.fold (fun k () acc -> Json.String k :: acc) t.dedup []))
+          (List.rev
+             (Queue.fold (fun acc k -> Json.String k :: acc) [] t.dedup_order))
       );
     ]
 
@@ -245,7 +268,9 @@ let write_snapshot t d =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let make ?durable ?(dtel = Tel.create ()) ~churn_k tree general =
+let make ?durable ?(dtel = Tel.create ()) ?(dedup_cap = default_dedup_cap)
+    ~churn_k tree general =
+  if dedup_cap < 1 then invalid_arg "Session.make: dedup_cap must be >= 1";
   let churn =
     Tdmd.Incremental.create ~graph:general.Tdmd.Instance.graph
       ~lambda:general.Tdmd.Instance.lambda ~k:churn_k
@@ -256,6 +281,8 @@ let make ?durable ?(dtel = Tel.create ()) ~churn_k tree general =
     churn;
     lock = Mutex.create ();
     dedup = Hashtbl.create 64;
+    dedup_order = Queue.create ();
+    dedup_cap;
     dtel;
     durable;
   }
@@ -278,25 +305,25 @@ let init_durable ~dtel cfg =
   ignore ops;
   { cfg; journal; epoch = 0; since_snapshot = 0 }
 
-let of_general ?durability:dcfg ~churn_k inst =
+let of_general ?durability:dcfg ?dedup_cap ~churn_k inst =
   match dcfg with
-  | None -> make ~churn_k None inst
+  | None -> make ?dedup_cap ~churn_k None inst
   | Some cfg ->
     let dtel = Tel.create () in
     let d = init_durable ~dtel cfg in
-    let t = make ~durable:d ~dtel ~churn_k None inst in
+    let t = make ~durable:d ~dtel ?dedup_cap ~churn_k None inst in
     (* Seed snapshot: from here on the directory is self-contained. *)
     locked t (fun () -> write_snapshot t d);
     t
 
-let of_tree ?durability:dcfg ~churn_k tree_inst =
+let of_tree ?durability:dcfg ?dedup_cap ~churn_k tree_inst =
   let general = Tdmd.Instance.Tree.to_general tree_inst in
   match dcfg with
-  | None -> make ~churn_k (Some tree_inst) general
+  | None -> make ?dedup_cap ~churn_k (Some tree_inst) general
   | Some cfg ->
     let dtel = Tel.create () in
     let d = init_durable ~dtel cfg in
-    let t = make ~durable:d ~dtel ~churn_k (Some tree_inst) general in
+    let t = make ~durable:d ~dtel ?dedup_cap ~churn_k (Some tree_inst) general in
     locked t (fun () -> write_snapshot t d);
     t
 
@@ -318,7 +345,39 @@ let apply_op churn = function
 let op_req = function
   | Journal.Arrive { req; _ } | Journal.Depart { req; _ } -> req
 
-let recover cfg =
+let segment_epoch name =
+  let pre = "journal-" and suf = ".wal" in
+  let pl = String.length pre and sl = String.length suf in
+  let n = String.length name in
+  if n > pl + sl && String.sub name 0 pl = pre && String.sub name (n - sl) sl = suf
+  then int_of_string_opt (String.sub name pl (n - pl - sl))
+  else None
+
+(* A crash between the snapshot rename and retiring the old segment —
+   or between opening the next segment and the rename — leaves a
+   journal segment no snapshot will ever name again.  Only the segment
+   the snapshot points at carries meaning; everything else (and a
+   leftover snapshot tmp) is garbage that would otherwise accumulate
+   forever. *)
+let remove_stale_files cfg ~tel ~keep_epoch =
+  match Sys.readdir cfg.dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun name ->
+        let stale =
+          match segment_epoch name with
+          | Some e -> e <> keep_epoch
+          | None -> name = Filename.basename (snapshot_file cfg) ^ ".tmp"
+        in
+        if stale then begin
+          (try Sys.remove (Filename.concat cfg.dir name) with Sys_error _ -> ());
+          Tel.count tel "wal_stale_segments_removed" 1
+        end)
+      entries
+
+let recover ?(dedup_cap = default_dedup_cap) cfg =
+  if dedup_cap < 1 then invalid_arg "Session.recover: dedup_cap must be >= 1";
   let* json =
     match read_file (snapshot_file cfg) with
     | contents -> Json.of_string contents
@@ -337,6 +396,7 @@ let recover cfg =
     | exception Invalid_argument msg -> Error ("snapshot state invalid: " ^ msg)
   in
   let dtel = Tel.create () in
+  remove_stale_files cfg ~tel:dtel ~keep_epoch:epoch;
   let* journal, ops =
     match
       Journal.open_append ~faults:cfg.faults ~tel:dtel ~fsync:cfg.fsync
@@ -346,15 +406,15 @@ let recover cfg =
     | exception Sys_error msg -> Error msg
   in
   let dedup = Hashtbl.create 64 in
-  List.iter (fun k -> Hashtbl.replace dedup k ()) dedup_keys;
+  let dedup_order = Queue.create () in
+  let rememb = dedup_remember ~tel:dtel ~cap:dedup_cap dedup dedup_order in
+  List.iter rememb dedup_keys;
   let* () =
     try
       List.iter
         (fun op ->
           apply_op churn op;
-          match op_req op with
-          | Some r -> Hashtbl.replace dedup r ()
-          | None -> ())
+          match op_req op with Some r -> rememb r | None -> ())
         ops;
       Ok ()
     with Invalid_argument msg ->
@@ -369,6 +429,8 @@ let recover cfg =
       churn;
       lock = Mutex.create ();
       dedup;
+      dedup_order;
+      dedup_cap;
       dtel;
       durable = Some d;
     }
@@ -470,19 +532,29 @@ let dedup_reply t ~op_name =
 let journaled t ~req ~op_name ~(op : unit -> Journal.op) ~(apply : unit -> unit) =
   match req with
   | Some r when Hashtbl.mem t.dedup r -> dedup_reply t ~op_name
-  | _ ->
-    (match t.durable with
-    | Some d -> Journal.append d.journal (op ())
-    | None -> ());
-    apply ();
-    (match req with Some r -> Hashtbl.replace t.dedup r () | None -> ());
-    (match t.durable with
-    | Some d ->
-      d.since_snapshot <- d.since_snapshot + 1;
-      if d.cfg.snapshot_every > 0 && d.since_snapshot >= d.cfg.snapshot_every
-      then write_snapshot t d
-    | None -> ());
-    Ok (Json.Obj (("op", Json.String op_name) :: churn_fields_unlocked t))
+  | _ -> (
+    let appended =
+      match t.durable with
+      | Some d -> (
+        match Journal.append d.journal (op ()) with
+        | () -> Ok ()
+        (* Oversized record: refused before anything reached the disk
+           or the engine — a definitive answer, not worth a retry. *)
+        | exception Invalid_argument msg -> Error ("bad-request", msg))
+      | None -> Ok ()
+    in
+    match appended with
+    | Error _ as e -> e
+    | Ok () ->
+      apply ();
+      (match req with Some r -> remember t r | None -> ());
+      (match t.durable with
+      | Some d ->
+        d.since_snapshot <- d.since_snapshot + 1;
+        if d.cfg.snapshot_every > 0 && d.since_snapshot >= d.cfg.snapshot_every
+        then write_snapshot t d
+      | None -> ());
+      Ok (Json.Obj (("op", Json.String op_name) :: churn_fields_unlocked t)))
 
 let arrive t ?req ~id ~rate ~path () =
   match Tdmd_flow.Flow.make ~id ~rate ~path with
@@ -538,9 +610,14 @@ let durability_stats t =
                 ("wal_fsyncs", c "wal_fsyncs");
                 ("wal_replayed", c "wal_replayed");
                 ("wal_torn_truncations", c "wal_torn_truncations");
+                ("wal_append_failures", c "wal_append_failures");
+                ("wal_poisoned", Json.Bool (Journal.poisoned d.journal));
+                ("wal_stale_segments_removed", c "wal_stale_segments_removed");
                 ("snapshots", c "snapshots");
                 ("dedup_size", Json.Int (Hashtbl.length t.dedup));
+                ("dedup_cap", Json.Int t.dedup_cap);
                 ("dedup_hits", c "dedup_hits");
+                ("dedup_evictions", c "dedup_evictions");
               ] );
         ])
 

@@ -54,27 +54,41 @@ val journal_file : durability -> int -> string
 
 (** {1 Construction} *)
 
-val of_general : ?durability:durability -> churn_k:int -> Tdmd.Instance.t -> t
+val default_dedup_cap : int
+(** Default bound (8192) on remembered idempotency ids.  The dedup
+    table is FIFO-bounded: past the cap the oldest id is evicted, so a
+    retry is only suppressed when it lands within the last [cap]
+    mutating ops — and memory/snapshot size stay O(cap) under unbounded
+    churn. *)
+
+val of_general :
+  ?durability:durability -> ?dedup_cap:int -> churn_k:int -> Tdmd.Instance.t -> t
 (** Serve a general instance: tree-only solvers are refused with a
     registry listing.  With [?durability] the directory is initialised
     (journal opened + locked, seed snapshot written) so it is
-    self-contained from the first op.
+    self-contained from the first op.  [?dedup_cap] bounds the dedup
+    table ({!default_dedup_cap}; must be >= 1).
     @raise Sys_error if the directory already holds a snapshot (use
     {!recover}) or the journal is locked by another process. *)
 
-val of_tree : ?durability:durability -> churn_k:int -> Tdmd.Instance.Tree.t -> t
+val of_tree :
+  ?durability:durability -> ?dedup_cap:int -> churn_k:int ->
+  Tdmd.Instance.Tree.t -> t
 (** Serve a tree instance: every registry name resolves (general
     solvers see the {!Tdmd.Instance.Tree.to_general} view).  Note the
     snapshot codec stores the general view only, so {!recover} of a
     tree session serves it as a general session. *)
 
-val recover : durability -> (t, string) result
+val recover : ?dedup_cap:int -> durability -> (t, string) result
 (** Rebuild a session from [cfg.dir]: parse the snapshot, restore the
     churn engine ({!Tdmd.Incremental.restore}), then replay the journal
     segment the snapshot names — truncating a torn tail — and rebuild
-    the dedup table from both.  The result is bit-identical to the
-    pre-crash session.  Takes over the journal (exclusive lock) and
-    continues appending to it. *)
+    the dedup table (in its original insertion order, re-bounded by
+    [?dedup_cap]) from both.  The result is bit-identical to the
+    pre-crash session.  Journal segments whose epoch is {e not} the one
+    the snapshot names — orphans of a crash mid-rotation — are deleted,
+    as is a leftover snapshot temp file.  Takes over the journal
+    (exclusive lock) and continues appending to it. *)
 
 val general : t -> Tdmd.Instance.t
 (** The static instance's general view (used by tests and the bench to
@@ -115,8 +129,10 @@ val durability_stats : t -> (string * Protocol.Json.t) list
 val durability_telemetry : t -> Tdmd_obs.Telemetry.t
 (** Counters behind {!durability_stats} — ["wal_appends"],
     ["wal_bytes"], ["wal_fsyncs"], ["wal_replayed"],
-    ["wal_torn_truncations"], ["wal_torn_bytes"], ["snapshots"],
-    ["dedup_hits"].  Read it only while the session is quiescent. *)
+    ["wal_torn_truncations"], ["wal_torn_bytes"],
+    ["wal_append_failures"], ["wal_stale_segments_removed"],
+    ["snapshots"], ["dedup_hits"], ["dedup_evictions"].  Read it only
+    while the session is quiescent. *)
 
 val close : t -> unit
 (** Durable sessions: write a final snapshot (so a restart replays

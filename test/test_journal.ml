@@ -217,6 +217,77 @@ let test_torn_tail_every_offset () =
   done;
   Sys.remove path
 
+(* A write failure mid-record (ENOSPC, media error) must not leave the
+   fd offset after the half-written garbage: later acked appends have
+   to stay readable on replay.  short@wal.write:3 clamps the failing
+   record's first pass (op 1's single pass consumes hits 1-2), then the
+   EIO on its second pass aborts the append with a partial record on
+   disk — which append must truncate away before rethrowing.
+   (wal.write hit counts: each append fires mangle + per-pass clamp and
+   eintr, so op 1 consumes 1-3 and op 2's first-pass clamp is hit 5;
+   wal.write.fail counts per pass only: op 1 is 1, op 2's passes are
+   2 and 3.) *)
+let test_append_failure_restores_tail () =
+  let path = Filename.temp_file "tdmd-wal" ".wal" in
+  Sys.remove path;
+  let faults =
+    match Faults.of_spec "short@wal.write:5;fail@wal.write.fail:3;seed=5" with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  let tel = Tdmd_obs.Telemetry.create () in
+  let j, _ = Journal.open_append ~faults ~tel ~fsync:Journal.Never path in
+  let op1 = List.nth sample_ops 0
+  and op2 = List.nth sample_ops 3
+  and op3 = List.nth sample_ops 4 in
+  Journal.append j op1;
+  (match Journal.append j op2 with
+  | () -> Alcotest.fail "append through an EIO fault must raise"
+  | exception Unix.Unix_error (Unix.EIO, _, _) -> ());
+  Alcotest.(check bool) "invariant restored, not poisoned" false
+    (Journal.poisoned j);
+  Alcotest.(check int) "failure counted" 1
+    (Tdmd_obs.Telemetry.get_count tel "wal_append_failures");
+  Journal.append j op3;
+  Journal.close j;
+  (match Journal.replay path with
+  | Ok (ops, 0) ->
+    if ops <> [ op1; op3 ] then
+      Alcotest.fail "surviving records are not exactly the acked appends"
+  | Ok (_, torn) ->
+    Alcotest.failf "%d bytes of half-written record survived" torn
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+(* Write-side and replay-side record limits must agree: an op the
+   journal accepts (and the server acks) can never decode as corruption
+   later.  Oversized ops are refused before any byte reaches the disk. *)
+let test_oversized_record_rejected () =
+  let big =
+    Journal.Arrive
+      { id = 1; rate = 1; path = List.init 300_000 (fun i -> i); req = None }
+  in
+  (match Journal.encode big with
+  | _ -> Alcotest.fail "encode must refuse payloads above max_record"
+  | exception Invalid_argument _ -> ());
+  let path = Filename.temp_file "tdmd-wal" ".wal" in
+  Sys.remove path;
+  let j, _ = Journal.open_append ~fsync:Journal.Never path in
+  let op1 = List.hd sample_ops in
+  Journal.append j op1;
+  (match Journal.append j big with
+  | () -> Alcotest.fail "append must refuse payloads above max_record"
+  | exception Invalid_argument _ -> ());
+  let op3 = List.nth sample_ops 1 in
+  Journal.append j op3;
+  Journal.close j;
+  (match Journal.replay path with
+  | Ok (ops, 0) when ops = [ op1; op3 ] -> ()
+  | Ok (ops, torn) ->
+    Alcotest.failf "replay: %d records, %d torn bytes" (List.length ops) torn
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
 let test_fsync_policy_strings () =
   List.iter
     (fun (s, p) ->
@@ -244,6 +315,9 @@ let test_fault_spec () =
   | Error msg -> Alcotest.fail msg);
   (match Faults.of_spec "crash@wal.append.post_write:3;seed=7" with
   | Ok t -> Alcotest.(check bool) "enabled" true (Faults.enabled t)
+  | Error msg -> Alcotest.fail msg);
+  (match Faults.of_spec "fail@wal.write.fail:2" with
+  | Ok t -> Alcotest.(check bool) "fail kind parses" true (Faults.enabled t)
   | Error msg -> Alcotest.fail msg);
   (match Faults.of_spec "explode@somewhere" with
   | Error _ -> ()
@@ -472,6 +546,100 @@ let test_dedup_suppression () =
     (Tdmd_obs.Telemetry.get_count (Session.durability_telemetry session)
        "dedup_hits")
 
+let durability_int session name =
+  match List.assoc_opt "durability" (Session.durability_stats session) with
+  | Some (Json.Obj fields) -> (
+    match List.assoc_opt name fields with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.failf "durability stats: no int field %S" name)
+  | _ -> Alcotest.fail "no durability stats"
+
+(* FIFO-bounded dedup: the cap holds, the *oldest* ids are the ones
+   evicted, and the order survives snapshot + recover (so eviction
+   after recovery picks the same victims). *)
+let test_dedup_bounded () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cfg = Session.durability dir in
+  let s =
+    Session.of_general ~durability:cfg ~dedup_cap:3 ~churn_k:2 (tiny_instance ())
+  in
+  for i = 1 to 5 do
+    expect_applied "bounded arrive"
+      (Session.arrive s ~req:(Printf.sprintf "q%d" i) ~id:i ~rate:1
+         ~path:[ 0; 1; 2 ] ())
+  done;
+  Alcotest.(check int) "table capped" 3 (durability_int s "dedup_size");
+  Alcotest.(check int) "two evictions" 2 (durability_int s "dedup_evictions");
+  (* q5 is remembered: the retry dedups.  q1 was evicted: the retry is
+     judged on its merits again, and flow 1 being live makes it a
+     conflict. *)
+  (match Session.arrive s ~req:"q5" ~id:5 ~rate:1 ~path:[ 0; 1; 2 ] () with
+  | Ok json when Json.member "dedup" json = Some (Json.Bool true) -> ()
+  | Ok json -> Alcotest.failf "recent id must dedup, got %s" (Json.to_string json)
+  | Error (code, msg) -> Alcotest.failf "%s %s" code msg);
+  (match Session.arrive s ~req:"q1" ~id:1 ~rate:1 ~path:[ 0; 1; 2 ] () with
+  | Error ("conflict", _) -> ()
+  | Ok json -> Alcotest.failf "evicted id must not dedup: %s" (Json.to_string json)
+  | Error (code, msg) -> Alcotest.failf "expected conflict, got %s %s" code msg);
+  Session.close s;
+  match Session.recover ~dedup_cap:3 (Session.durability dir) with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    Alcotest.(check int) "cap survives recovery" 3 (durability_int r "dedup_size");
+    (match Session.arrive r ~req:"q5" ~id:5 ~rate:1 ~path:[ 0; 1; 2 ] () with
+    | Ok json when Json.member "dedup" json = Some (Json.Bool true) -> ()
+    | _ -> Alcotest.fail "recent id must still dedup after recovery");
+    (match Session.arrive r ~req:"q1" ~id:1 ~rate:1 ~path:[ 0; 1; 2 ] () with
+    | Error ("conflict", _) -> ()
+    | _ -> Alcotest.fail "evicted id must stay evicted after recovery");
+    Session.close r
+
+(* A crash mid-rotation leaves a journal segment no snapshot names
+   (before the rename: the half-born next segment; after it: the
+   retired old one) plus possibly a snapshot temp file.  Recovery must
+   sweep them, or they pile up forever. *)
+let test_recover_removes_orphans () =
+  List.iter
+    (fun point ->
+      let dir = temp_dir () in
+      Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+      let faults =
+        match Faults.of_spec (Printf.sprintf "crash@%s:2" point) with
+        | Ok t -> t
+        | Error m -> Alcotest.fail m
+      in
+      let cfg = Session.durability ~snapshot_every:3 ~faults dir in
+      (match Session.of_general ~durability:cfg ~churn_k:2 (tiny_instance ()) with
+      | exception Faults.Crash _ -> ()
+      | session -> (
+        try
+          List.iteri
+            (fun i wop ->
+              expect_applied (point ^ " op") (apply_wop session i wop))
+            workload
+        with Faults.Crash _ -> ()));
+      let segments () =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".wal")
+      in
+      if List.length (segments ()) < 2 then
+        Alcotest.failf "%s: crash was expected to strand a segment" point;
+      match Session.recover (Session.durability ~snapshot_every:3 dir) with
+      | Error msg -> Alcotest.failf "%s: recover: %s" point msg
+      | Ok r ->
+        Alcotest.(check int) (point ^ ": one segment after recovery") 1
+          (List.length (segments ()));
+        if
+          Array.exists
+            (fun f -> Filename.check_suffix f ".tmp")
+            (Sys.readdir dir)
+        then Alcotest.failf "%s: snapshot temp file survives recovery" point;
+        if durability_int r "wal_stale_segments_removed" < 1 then
+          Alcotest.failf "%s: removal not counted" point;
+        Session.close r)
+    [ "snap.pre_rename"; "snap.post_rename" ]
+
 let test_clean_restart_replays_nothing () =
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
@@ -500,6 +668,10 @@ let suite =
       test_single_byte_flip;
     Alcotest.test_case "torn tail at every offset" `Quick
       test_torn_tail_every_offset;
+    Alcotest.test_case "append failure restores the tail" `Quick
+      test_append_failure_restores_tail;
+    Alcotest.test_case "oversized records refused at append" `Quick
+      test_oversized_record_rejected;
     Alcotest.test_case "fsync policy strings" `Quick test_fsync_policy_strings;
     Alcotest.test_case "fault spec grammar" `Quick test_fault_spec;
     Alcotest.test_case "crash directive fires at nth" `Quick
@@ -509,6 +681,9 @@ let suite =
     Alcotest.test_case "crash recovery at every point" `Quick
       test_crash_recovery;
     Alcotest.test_case "dedup suppression" `Quick test_dedup_suppression;
+    Alcotest.test_case "dedup table is FIFO-bounded" `Quick test_dedup_bounded;
+    Alcotest.test_case "recovery sweeps orphaned segments" `Quick
+      test_recover_removes_orphans;
     Alcotest.test_case "clean restart replays nothing" `Quick
       test_clean_restart_replays_nothing;
   ]
