@@ -581,7 +581,8 @@ let recover_bench () =
          payoff. *)
       S.close recovered;
       let snapshot_bytes =
-        try (Unix.stat (S.snapshot_file cfg)).Unix.st_size with _ -> 0
+        try (Unix.stat (S.snapshot_file cfg)).Unix.st_size
+        with Unix.Unix_error _ | Sys_error _ -> 0
       in
       rm_rf dir;
       let policy = J.fsync_policy_to_string fsync in

@@ -50,7 +50,7 @@ let () =
         | Tdmd_traffic.Temporal.Arrival f ->
           Tdmd.Incremental.arrive inc f;
           Printf.sprintf "+f%d (r=%d)" f.Flow.id f.Flow.rate
-        | Departure id ->
+        | Tdmd_traffic.Temporal.Departure id ->
           Tdmd.Incremental.depart inc id;
           Printf.sprintf "-f%d" id
       in

@@ -10,7 +10,6 @@
    Run with:  dune exec examples/service_chain.exe *)
 
 open Tdmd_prelude
-module Flow = Tdmd_flow.Flow
 
 let () =
   let spec = Tdmd.Chain.make_spec [ 0.9; 0.4 ] in

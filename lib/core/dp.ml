@@ -10,11 +10,9 @@ type report = {
 
 type tables = {
   inst : Instance.Tree.t;
-  k_max : int;
   b_sub : int array;               (* R_v: rate sourced in T_v *)
   k_cap : int array;               (* min (k_max, |T_v|) *)
   p : float array array array;     (* p.(v).(kappa).(b), exact kappa/b *)
-  m_final : float array array array; (* children-merge table of v *)
   merge_choice : int array array array array;
       (* merge_choice.(v).(i).(kappa).(beta): packed (kappa_c, b_c) of
          the optimal split when merging the i-th child (1-based) *)
@@ -41,7 +39,6 @@ let build ~k_max inst =
     (Rt.postorder tree);
   let k_cap = Array.map (fun s -> min k_max s) subtree_size in
   let p = Array.make n [||] in
-  let m_final = Array.make n [||] in
   let merge_choice = Array.make n [||] in
   let box_beta = Array.make n [||] in
   let box_val = Array.make n [||] in
@@ -95,7 +92,6 @@ let build ~k_max inst =
           m_prev := m_next)
         cs;
       merge_choice.(v) <- choices;
-      m_final.(v) <- !m_prev;
       (* Box-at-v case: one budget unit goes to v; every flow through v
          is then processed, so b jumps to R_v regardless of beta. *)
       let bb = Array.make (kv + 1) (-1) in
@@ -124,11 +120,9 @@ let build ~k_max inst =
     (Rt.postorder tree);
   {
     inst;
-    k_max;
     b_sub;
     k_cap;
     p;
-    m_final;
     merge_choice;
     box_beta;
     box_val;
@@ -150,7 +144,7 @@ let p_value t ~v ~k ~b =
 
 let f_value t ~v ~k = p_value t ~v ~k ~b:(t.b_sub.(v))
 
-let state_count t = t.states
+let state_count (t : tables) = t.states
 
 (* Traceback: walk the stored choices from (root, kappa*, R_root) down,
    collecting box vertices. *)

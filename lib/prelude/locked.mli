@@ -1,0 +1,15 @@
+(** Exception-safe mutual exclusion.
+
+    [with_lock m f] runs [f ()] with [m] held and releases [m] on every
+    exit path, including exceptions ([Fun.protect] underneath).  The
+    whole repo locks through this combinator: a naked [Mutex.lock]
+    leaks the mutex if anything between it and the matching unlock
+    raises, and tdmd-lint's [naked-mutex-lock] rule rejects naked
+    locking everywhere outside this module's implementation.
+
+    Blocking calls that need the raw mutex — e.g. [Condition.wait c m]
+    — are fine inside [f]: they unlock and re-lock [m] internally and
+    return with it held, which is exactly the invariant [with_lock]
+    maintains. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a

@@ -53,19 +53,20 @@ module Pool = struct
 
   let worker t () =
     let rec loop () =
-      Mutex.lock t.mutex;
-      while Queue.is_empty t.jobs && t.accepting do
-        Condition.wait t.nonempty t.mutex
-      done;
       (* Drain mode: keep executing whatever is still queued, exit only
          once the queue is empty. *)
-      if Queue.is_empty t.jobs then Mutex.unlock t.mutex
-      else begin
-        let job = Queue.pop t.jobs in
-        Mutex.unlock t.mutex;
+      let job =
+        Locked.with_lock t.mutex (fun () ->
+            while Queue.is_empty t.jobs && t.accepting do
+              Condition.wait t.nonempty t.mutex
+            done;
+            if Queue.is_empty t.jobs then None else Some (Queue.pop t.jobs))
+      in
+      match job with
+      | None -> ()
+      | Some job ->
         (try job () with e -> t.on_error e);
         loop ()
-      end
     in
     loop ()
 
@@ -87,26 +88,21 @@ module Pool = struct
     t
 
   let submit t job =
-    Mutex.lock t.mutex;
-    let ok = t.accepting && Queue.length t.jobs < t.capacity in
-    if ok then begin
-      Queue.push job t.jobs;
-      Condition.signal t.nonempty
-    end;
-    Mutex.unlock t.mutex;
-    ok
+    Locked.with_lock t.mutex (fun () ->
+        let ok = t.accepting && Queue.length t.jobs < t.capacity in
+        if ok then begin
+          Queue.push job t.jobs;
+          Condition.signal t.nonempty
+        end;
+        ok)
 
   let queue_depth t =
-    Mutex.lock t.mutex;
-    let n = Queue.length t.jobs in
-    Mutex.unlock t.mutex;
-    n
+    Locked.with_lock t.mutex (fun () -> Queue.length t.jobs)
 
   let shutdown t =
-    Mutex.lock t.mutex;
-    t.accepting <- false;
-    Condition.broadcast t.nonempty;
-    Mutex.unlock t.mutex;
+    Locked.with_lock t.mutex (fun () ->
+        t.accepting <- false;
+        Condition.broadcast t.nonempty);
     List.iter Domain.join t.workers;
     t.workers <- []
 end

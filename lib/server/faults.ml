@@ -1,3 +1,5 @@
+module Locked = Tdmd_prelude.Locked
+
 exception Crash of string
 
 type kind = Crash_k | Eintr_k | Short_k | Corrupt_k | Fail_k
@@ -89,6 +91,7 @@ let from_env () =
     match of_spec spec with
     | Ok t -> t
     | Error msg ->
+      (* tdmd-lint: allow no-direct-io — a bad TDMD_FAULTS spec aborts startup before any sink exists *)
       Printf.eprintf "TDMD_FAULTS: %s\n%!" msg;
       exit 2)
 
@@ -97,16 +100,14 @@ let from_env () =
    runs. *)
 let fire t point =
   if not (enabled t) then []
-  else begin
-    Mutex.lock t.lock;
-    let n = (match Hashtbl.find_opt t.counts point with Some c -> c | None -> 0) + 1 in
-    Hashtbl.replace t.counts point n;
-    let fired =
-      List.filter (fun d -> d.point = point && d.nth = n) t.directives
-    in
-    Mutex.unlock t.lock;
-    fired
-  end
+  else
+    Locked.with_lock t.lock (fun () ->
+        let n =
+          (match Hashtbl.find_opt t.counts point with Some c -> c | None -> 0)
+          + 1
+        in
+        Hashtbl.replace t.counts point n;
+        List.filter (fun d -> d.point = point && d.nth = n) t.directives)
 
 let hit t point =
   List.iter
@@ -126,27 +127,25 @@ let fail t point =
 let clamp t point len =
   let fired = fire t point in
   if len <= 1 then len
-  else if List.exists (fun d -> d.kind = Short_k) fired then begin
-    Mutex.lock t.lock;
-    let n = 1 + Tdmd_prelude.Rng.int t.rng (len - 1) in
-    Mutex.unlock t.lock;
-    n
-  end
+  else if List.exists (fun d -> d.kind = Short_k) fired then
+    Locked.with_lock t.lock (fun () -> 1 + Tdmd_prelude.Rng.int t.rng (len - 1))
   else len
 
 let mangle t point buf =
   let fired = fire t point in
   if Bytes.length buf > 0 && List.exists (fun d -> d.kind = Corrupt_k) fired
   then begin
-    Mutex.lock t.lock;
-    let i = Tdmd_prelude.Rng.int t.rng (Bytes.length buf) in
-    let bit = 1 lsl Tdmd_prelude.Rng.int t.rng 8 in
-    Mutex.unlock t.lock;
+    let i, bit =
+      Locked.with_lock t.lock (fun () ->
+          let i = Tdmd_prelude.Rng.int t.rng (Bytes.length buf) in
+          (i, 1 lsl Tdmd_prelude.Rng.int t.rng 8))
+    in
     Bytes.set_uint8 buf i (Bytes.get_uint8 buf i lxor bit)
   end
 
 let hits t =
-  Mutex.lock t.lock;
-  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts [] in
-  Mutex.unlock t.lock;
+  let l =
+    Locked.with_lock t.lock (fun () ->
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts [])
+  in
   List.sort compare l

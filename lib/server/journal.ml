@@ -172,18 +172,9 @@ let count t name n = Tdmd_obs.Telemetry.count t.tel name n
 let read_whole fd =
   let size = (Unix.fstat fd).Unix.st_size in
   ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-  let buf = Bytes.create size in
-  let rec go off =
-    if off >= size then ()
-    else begin
-      match Unix.read fd buf off (size - off) with
-      | 0 -> failwith "journal shrank while reading"
-      | n -> go (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-    end
-  in
-  go 0;
-  Bytes.unsafe_to_string buf
+  match Protocol.read_exact fd size ~clean_eof:false with
+  | Ok buf -> Bytes.unsafe_to_string buf
+  | Error (`Eof | `Bad _) -> failwith "journal shrank while reading"
 
 let replay path =
   if not (Sys.file_exists path) then Ok ([], 0)
@@ -270,7 +261,7 @@ let append t op =
     (try
        Unix.ftruncate t.fd t.size;
        ignore (Unix.lseek t.fd t.size Unix.SEEK_SET)
-     with _ -> t.poisoned <- true);
+     with Unix.Unix_error _ | Sys_error _ -> t.poisoned <- true);
     count t "wal_append_failures" 1;
     raise e);
   t.size <- t.size + Bytes.length record;

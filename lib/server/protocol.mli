@@ -53,6 +53,17 @@ val write_frame : ?faults:Faults.t -> Unix.file_descr -> Json.t -> unit
 (** Serialize and send one frame.  @raise Unix.Unix_error on transport
     failure (e.g. the peer is gone). *)
 
+val read_exact :
+  ?faults:Faults.t ->
+  Unix.file_descr ->
+  int ->
+  clean_eof:bool ->
+  (bytes, [ `Eof | `Bad of string ]) result
+(** Read exactly [n] bytes, EINTR-safe and resuming across short reads
+    (also used by the WAL to slurp segments).  An end-of-stream at
+    offset 0 is [`Eof] when [clean_eof] is set and [`Bad _] otherwise;
+    an end-of-stream mid-buffer is always [`Bad _]. *)
+
 val read_frame :
   ?faults:Faults.t -> Unix.file_descr -> (Json.t, [ `Eof | `Bad of string ]) result
 (** Read one frame.  [`Eof] on clean close before a length prefix;

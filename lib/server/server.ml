@@ -1,5 +1,6 @@
 module Json = Tdmd_obs.Json
 module Tel = Tdmd_obs.Telemetry
+module Locked = Tdmd_prelude.Locked
 
 type config = {
   addr : Protocol.addr;
@@ -44,25 +45,19 @@ type t = {
 (* All telemetry mutation funnels through here: Telemetry.t is not
    thread-safe and counts arrive from reader threads and worker domains
    alike. *)
-let with_tel t f =
-  Mutex.lock t.tel_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.tel_lock) (fun () -> f t.tel)
+let with_tel t f = Locked.with_lock t.tel_lock (fun () -> f t.tel)
 
 let count t name n = with_tel t (fun tel -> Tel.count tel name n)
 
 let record_latency t seconds =
-  Mutex.lock t.tel_lock;
-  Tdmd_prelude.Histogram.add t.latency seconds;
-  Mutex.unlock t.tel_lock
+  Locked.with_lock t.tel_lock (fun () ->
+      Tdmd_prelude.Histogram.add t.latency seconds)
 
 (* [open_] is only read/written under [write_lock], so a worker can
    never write to an fd the reader has already closed (fd numbers are
    reused by the kernel — a plain check-then-write would race). *)
 let send t conn json =
-  Mutex.lock conn.write_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock conn.write_lock)
-    (fun () ->
+  Locked.with_lock conn.write_lock (fun () ->
       if conn.open_ then begin
         try Protocol.write_frame conn.fd json
         with Unix.Unix_error _ ->
@@ -77,9 +72,10 @@ let send t conn json =
 
 let stats_fields t =
   let pct p =
-    Mutex.lock t.tel_lock;
-    let v = Tdmd_prelude.Histogram.percentile t.latency p in
-    Mutex.unlock t.tel_lock;
+    let v =
+      Locked.with_lock t.tel_lock (fun () ->
+          Tdmd_prelude.Histogram.percentile t.latency p)
+    in
     if Float.is_nan v then Json.Null else Json.Float (v *. 1000.0)
   in
   let counter name = Json.Int (with_tel t (fun tel -> Tel.get_count tel name)) in
@@ -178,6 +174,7 @@ let run_job t conn (env : Protocol.envelope) ~enqueued_ns =
       | Faults.Crash point ->
         (* A planned crash must take the whole process down as abruptly
            as kill -9 would: no reply, no drain, no at_exit cleanup. *)
+        (* tdmd-lint: allow no-direct-io — last words before _exit 137; telemetry would never be flushed *)
         prerr_endline ("tdmd serve: injected crash at " ^ point);
         Unix._exit 137
       | e -> Error ("internal", Printexc.to_string e)
@@ -195,15 +192,13 @@ let run_job t conn (env : Protocol.envelope) ~enqueued_ns =
 (* ------------------------------------------------------------------ *)
 
 let close_conn t conn =
-  Mutex.lock t.conns_lock;
-  t.conns <- List.filter (fun c -> c != conn) t.conns;
-  Mutex.unlock t.conns_lock;
-  Mutex.lock conn.write_lock;
-  if conn.open_ then begin
-    conn.open_ <- false;
-    try Unix.close conn.fd with Unix.Unix_error _ -> ()
-  end;
-  Mutex.unlock conn.write_lock
+  Locked.with_lock t.conns_lock (fun () ->
+      t.conns <- List.filter (fun c -> c != conn) t.conns);
+  Locked.with_lock conn.write_lock (fun () ->
+      if conn.open_ then begin
+        conn.open_ <- false;
+        try Unix.close conn.fd with Unix.Unix_error _ -> ()
+      end)
 
 let reader t conn () =
   let rec loop () =
@@ -285,10 +280,9 @@ let acceptor t () =
         | exception Unix.Unix_error _ -> ()
         | fd, _peer ->
           let conn = { fd; write_lock = Mutex.create (); open_ = true } in
-          Mutex.lock t.conns_lock;
-          t.conns <- conn :: t.conns;
-          t.readers <- Thread.create (reader t conn) () :: t.readers;
-          Mutex.unlock t.conns_lock;
+          Locked.with_lock t.conns_lock (fun () ->
+              t.conns <- conn :: t.conns;
+              t.readers <- Thread.create (reader t conn) () :: t.readers);
           loop ())
     end
   in
@@ -372,10 +366,9 @@ let wait t =
        runs to completion and is answered. *)
     Tdmd_prelude.Parallel.Pool.shutdown t.pool;
     (* 3. Wake readers blocked in read and let them clean up. *)
-    Mutex.lock t.conns_lock;
-    let conns = t.conns in
-    let readers = t.readers in
-    Mutex.unlock t.conns_lock;
+    let conns, readers =
+      Locked.with_lock t.conns_lock (fun () -> (t.conns, t.readers))
+    in
     List.iter
       (fun c -> try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       conns;

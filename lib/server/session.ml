@@ -66,9 +66,7 @@ let general t = t.general
 
 type reply = (Json.t, string * string) result
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Tdmd_prelude.Locked.with_lock t.lock f
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot codec                                                      *)

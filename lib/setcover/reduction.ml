@@ -2,7 +2,7 @@ module G = Tdmd_graph.Digraph
 module Flow = Tdmd_flow.Flow
 
 let to_tdmd (sc : Setcover.t) =
-  let n_sets = Array.length sc.sets in
+  let n_sets = Array.length sc.Setcover.sets in
   let g = G.create n_sets in
   for u = 0 to n_sets - 1 do
     for v = 0 to n_sets - 1 do
@@ -10,9 +10,11 @@ let to_tdmd (sc : Setcover.t) =
     done
   done;
   let flows =
-    List.init sc.universe (fun e ->
+    List.init sc.Setcover.universe (fun e ->
         let path =
-          List.filter (fun i -> List.mem e sc.sets.(i)) (List.init n_sets (fun i -> i))
+          List.filter
+            (fun i -> List.mem e sc.Setcover.sets.(i))
+            (List.init n_sets (fun i -> i))
         in
         if path = [] then
           invalid_arg "Reduction.to_tdmd: element contained in no set";

@@ -31,7 +31,7 @@ let default_tree : tree =
     link_capacity = 30;
   }
 
-let default_general =
+let default_general : general =
   {
     size = 30;
     k = 10;

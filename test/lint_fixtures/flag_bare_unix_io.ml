@@ -1,0 +1,5 @@
+(* must-flag: bare-unix-io at lines 3, 4 and 5 *)
+let shovel fd buf =
+  let got = Unix.read fd buf 0 (Bytes.length buf) in
+  let _ = Unix.write fd buf 0 got in
+  Unix.single_write fd buf 0 got

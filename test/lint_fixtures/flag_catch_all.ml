@@ -1,0 +1,8 @@
+(* must-flag: catch-all at lines 3 and 7 *)
+let size path =
+  try Some (Unix.stat path).Unix.st_size with _ -> None
+
+let first l =
+  match List.hd l with
+  | exception _ -> None
+  | x -> Some x

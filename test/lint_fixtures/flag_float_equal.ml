@@ -1,0 +1,6 @@
+(* must-flag: float-equal at lines 3 and 6 *)
+let is_zero x =
+  x = 0.0
+
+let not_one x =
+  x <> 1.0

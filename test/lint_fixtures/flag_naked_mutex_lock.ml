@@ -1,0 +1,6 @@
+(* must-flag: naked-mutex-lock at line 4 *)
+let bump m counter =
+  (* an exception from incr-adjacent code would leak the mutex *)
+  Mutex.lock m;
+  incr counter;
+  Mutex.unlock m

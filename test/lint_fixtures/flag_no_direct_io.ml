@@ -1,0 +1,6 @@
+(* must-flag: no-direct-io at lines 3 and 6 *)
+let announce msg =
+  print_endline msg
+
+let warn code =
+  Printf.eprintf "warning: %d\n%!" code

@@ -1,0 +1,3 @@
+(* must-flag: obj-magic at line 3 *)
+let dummy : int =
+  Obj.magic "not an int"

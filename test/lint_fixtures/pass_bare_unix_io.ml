@@ -1,0 +1,3 @@
+(* must-pass: I/O through the EINTR-safe wrappers *)
+let send fd payload = Protocol.write_all fd payload
+let recv fd n = Protocol.read_exact fd n ~clean_eof:false

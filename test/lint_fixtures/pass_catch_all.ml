@@ -1,0 +1,6 @@
+(* must-pass: explicit exception patterns; constructor args may be _ *)
+let size path =
+  try Some (Unix.stat path).Unix.st_size
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let first l = match List.hd l with exception Failure _ -> None | x -> Some x

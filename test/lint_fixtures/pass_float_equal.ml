@@ -1,0 +1,4 @@
+(* must-pass: Float.equal and tolerant comparisons; < is not equality *)
+let is_zero x = Float.equal x 0.0
+let near x y = Float.abs (x -. y) < 1e-9
+let big x = x > 100.0

@@ -1,0 +1,3 @@
+(* must-pass: locking through the exception-safe combinator *)
+let bump m counter =
+  Tdmd_prelude.Locked.with_lock m (fun () -> incr counter)

@@ -1,0 +1,4 @@
+(* must-pass: telemetry through Tdmd_obs, string building is fine *)
+let announce tel msg =
+  Tdmd_obs.Telemetry.count tel msg 1;
+  Printf.sprintf "noted %s" msg

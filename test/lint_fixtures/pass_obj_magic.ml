@@ -1,0 +1,2 @@
+(* must-pass: Obj.repr/reachable_words are fine, only Obj.magic is banned *)
+let heap_words x = Obj.reachable_words (Obj.repr x)

@@ -23,4 +23,5 @@ let () =
       ("server", Test_server.suite);
       ("journal", Test_journal.suite);
       ("experiments", Test_experiments.suite);
+      ("lint", Test_lint.suite);
     ]

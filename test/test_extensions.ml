@@ -358,7 +358,7 @@ let test_temporal () =
     (fun (t, ev) ->
       match ev with
       | Tdmd_traffic.Temporal.Arrival f -> Hashtbl.replace arrivals f.Flow.id t
-      | Departure id ->
+      | Tdmd_traffic.Temporal.Departure id ->
         (match Hashtbl.find_opt arrivals id with
         | Some t0 ->
           Alcotest.(check bool) "departure after arrival" true (t >= t0)

@@ -130,21 +130,24 @@ let test_bellman_ford () =
   (match Tdmd_graph.Bellman_ford.distances g 0 with
   | Tdmd_graph.Bellman_ford.Distances d ->
     Alcotest.(check (float 1e-9)) "0->3" 3.0 d.(3)
-  | Negative_cycle -> Alcotest.fail "no negative cycle here");
+  | Tdmd_graph.Bellman_ford.Negative_cycle ->
+    Alcotest.fail "no negative cycle here");
   (* Negative edge but no cycle. *)
   let h = G.create 3 in
   G.add_edge ~weight:5.0 h 0 1;
   G.add_edge ~weight:(-3.0) h 1 2;
   (match Tdmd_graph.Bellman_ford.distances h 0 with
-  | Distances d -> Alcotest.(check (float 1e-9)) "negative edge ok" 2.0 d.(2)
-  | Negative_cycle -> Alcotest.fail "no cycle");
+  | Tdmd_graph.Bellman_ford.Distances d ->
+    Alcotest.(check (float 1e-9)) "negative edge ok" 2.0 d.(2)
+  | Tdmd_graph.Bellman_ford.Negative_cycle -> Alcotest.fail "no cycle");
   (* Genuine negative cycle. *)
   let c = G.create 2 in
   G.add_edge ~weight:1.0 c 0 1;
   G.add_edge ~weight:(-2.0) c 1 0;
   match Tdmd_graph.Bellman_ford.distances c 0 with
-  | Negative_cycle -> ()
-  | Distances _ -> Alcotest.fail "negative cycle missed"
+  | Tdmd_graph.Bellman_ford.Negative_cycle -> ()
+  | Tdmd_graph.Bellman_ford.Distances _ ->
+    Alcotest.fail "negative cycle missed"
 
 let prop_bellman_matches_dijkstra =
   QCheck.Test.make ~name:"bellman-ford = dijkstra on non-negative weights"
@@ -154,8 +157,8 @@ let prop_bellman_matches_dijkstra =
       let rng = Rng.create seed in
       let g = Tdmd_topo.Topo_general.erdos_renyi rng n ~p:0.2 in
       match Tdmd_graph.Bellman_ford.distances g 0 with
-      | Negative_cycle -> false
-      | Distances bf ->
+      | Tdmd_graph.Bellman_ford.Negative_cycle -> false
+      | Tdmd_graph.Bellman_ford.Distances bf ->
         Array.for_all2 (fun a b -> a = b) bf (Tdmd_graph.Dijkstra.distances g 0))
 
 let suite =

@@ -201,6 +201,64 @@ let test_parallel_exceptions () =
            (fun x -> if x = 7 then failwith "boom" else x)
            (List.init 20 (fun i -> i))))
 
+(* Backoff edge cases: previously only exercised indirectly through
+   Client.rpc_retry. *)
+
+let test_backoff_invalid_policy () =
+  Alcotest.check_raises "zero base" (Invalid_argument "Backoff.policy: base must be > 0")
+    (fun () -> ignore (Backoff.policy ~base:0.0 ()));
+  Alcotest.check_raises "negative base"
+    (Invalid_argument "Backoff.policy: base must be > 0") (fun () ->
+      ignore (Backoff.policy ~base:(-0.5) ()));
+  Alcotest.check_raises "cap below base"
+    (Invalid_argument "Backoff.policy: cap must be >= base") (fun () ->
+      ignore (Backoff.policy ~base:0.2 ~cap:0.1 ()));
+  Alcotest.check_raises "negative attempts"
+    (Invalid_argument "Backoff.policy: max_attempts < 0") (fun () ->
+      ignore (Backoff.policy ~max_attempts:(-1) ()));
+  Alcotest.check_raises "negative budget"
+    (Invalid_argument "Backoff.policy: budget < 0") (fun () ->
+      ignore (Backoff.policy ~budget:(-1.0) ()))
+
+let drain b =
+  let rec go acc =
+    match Backoff.next b with None -> List.rev acc | Some d -> go (d :: acc)
+  in
+  go []
+
+let test_backoff_cap_saturation () =
+  (* A tiny cap pins every delay into [base, cap] no matter how many
+     attempts have inflated [3 * prev]. *)
+  let p = Backoff.policy ~base:0.01 ~cap:0.02 ~max_attempts:50 ~budget:0.0 () in
+  let delays = drain (Backoff.start ~seed:7 p) in
+  Alcotest.(check int) "max_attempts bounds the schedule" 50 (List.length delays);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "delay >= base" true (d >= 0.01 -. 1e-12);
+      Alcotest.(check bool) "delay <= cap" true (d <= 0.02 +. 1e-12))
+    delays
+
+let test_backoff_budget_clip () =
+  (* The final delay is clipped so cumulative sleep lands exactly on the
+     budget, never past it. *)
+  let p = Backoff.policy ~base:0.4 ~cap:1.0 ~max_attempts:0 ~budget:1.0 () in
+  let b = Backoff.start ~seed:3 p in
+  let delays = drain b in
+  let total = List.fold_left ( +. ) 0.0 delays in
+  Alcotest.(check (float 1e-9)) "sums exactly to the budget" 1.0 total;
+  Alcotest.(check (float 1e-9)) "elapsed agrees" 1.0 (Backoff.elapsed b);
+  Alcotest.(check int) "attempts counted" (List.length delays) (Backoff.attempts b)
+
+let test_backoff_determinism () =
+  let p = Backoff.policy ~base:0.05 ~cap:1.0 ~max_attempts:20 ~budget:0.0 () in
+  let a = drain (Backoff.start ~seed:42 p) in
+  let b = drain (Backoff.start ~seed:42 p) in
+  let c = drain (Backoff.start ~seed:43 p) in
+  Alcotest.(check (list (float 0.0))) "same seed, same schedule" a b;
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c);
+  (* First delay is always exactly [base]: no jitter before failure #2. *)
+  Alcotest.(check (float 0.0)) "first delay is base" 0.05 (List.hd a)
+
 let suite =
   [
     Alcotest.test_case "parallel: map" `Quick test_parallel_map;
@@ -224,4 +282,10 @@ let suite =
     Alcotest.test_case "table: csv quoting" `Quick test_table_csv_quoting;
     Alcotest.test_case "listx helpers" `Quick test_listx;
     Alcotest.test_case "timer" `Quick test_timer;
+    Alcotest.test_case "backoff: invalid policies" `Quick
+      test_backoff_invalid_policy;
+    Alcotest.test_case "backoff: cap saturation" `Quick
+      test_backoff_cap_saturation;
+    Alcotest.test_case "backoff: budget clip" `Quick test_backoff_budget_clip;
+    Alcotest.test_case "backoff: determinism" `Quick test_backoff_determinism;
   ]

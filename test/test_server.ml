@@ -88,6 +88,7 @@ let raw_connect addr =
 
 let write_all fd b =
   let n = Bytes.length b in
+  (* tdmd-lint: allow bare-unix-io — deliberately raw: these tests craft torn/malformed frames below Protocol *)
   let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
   go 0
 
@@ -121,9 +122,8 @@ let test_concurrent_solves () =
       let fail fmt =
         Printf.ksprintf
           (fun msg ->
-            Mutex.lock failures_lock;
-            failures := msg :: !failures;
-            Mutex.unlock failures_lock)
+            Tdmd_prelude.Locked.with_lock failures_lock (fun () ->
+                failures := msg :: !failures))
           fmt
       in
       let worker i () =

@@ -1,0 +1,501 @@
+(* tdmd-lint: a compiler-libs AST pass enforcing the repo's
+   concurrency, I/O and exception-safety invariants.
+
+   Every rule is grounded in a bug this repo actually shipped: the
+   [Obj.magic] heap dummy (PR 2), EINTR-unsafe [Unix.read]/[Unix.write]
+   (PR 4), leaked mutexes on exception paths, [with _ ->] handlers that
+   swallowed [Out_of_memory] during crash-safety reasoning, and float
+   equality by polymorphic [=].
+
+   The pass is purely syntactic (Parsetree + Ast_iterator, no typing
+   environment), so the record-compare rule works from identifier-name
+   heuristics; the fixture corpus under test/lint_fixtures/ pins down
+   exactly what each rule does and does not flag. *)
+
+type rule =
+  | Obj_magic
+  | Bare_unix_io
+  | Naked_mutex_lock
+  | Catch_all
+  | Direct_io
+  | Poly_compare_record
+  | Float_equal
+
+let all_rules =
+  [
+    Obj_magic;
+    Bare_unix_io;
+    Naked_mutex_lock;
+    Catch_all;
+    Direct_io;
+    Poly_compare_record;
+    Float_equal;
+  ]
+
+let rule_id = function
+  | Obj_magic -> "obj-magic"
+  | Bare_unix_io -> "bare-unix-io"
+  | Naked_mutex_lock -> "naked-mutex-lock"
+  | Catch_all -> "catch-all"
+  | Direct_io -> "no-direct-io"
+  | Poly_compare_record -> "poly-compare-record"
+  | Float_equal -> "float-equal"
+
+let rule_of_id = function
+  | "obj-magic" -> Some Obj_magic
+  | "bare-unix-io" -> Some Bare_unix_io
+  | "naked-mutex-lock" -> Some Naked_mutex_lock
+  | "catch-all" -> Some Catch_all
+  | "no-direct-io" -> Some Direct_io
+  | "poly-compare-record" -> Some Poly_compare_record
+  | "float-equal" -> Some Float_equal
+  | _ -> None
+
+let rule_doc = function
+  | Obj_magic ->
+    "Obj.magic defeats the type system; PR 2 removed an unsound heap dummy \
+     built on it"
+  | Bare_unix_io ->
+    "bare Unix.read/write/single_write is EINTR- and short-write-unsafe; use \
+     Protocol.write_all / Protocol.read_exact"
+  | Naked_mutex_lock ->
+    "a naked Mutex.lock leaks the mutex if the critical section raises; use \
+     Tdmd_prelude.Locked.with_lock"
+  | Catch_all ->
+    "try ... with _ -> swallows Out_of_memory/Stack_overflow and poisons \
+     crash-safety reasoning; match the exceptions you mean"
+  | Direct_io ->
+    "no direct stdout/stderr in lib/; telemetry flows through Tdmd_obs"
+  | Poly_compare_record ->
+    "polymorphic =/compare on instance/placement/graph/flow records is \
+     allocation-heavy and order-fragile in hot paths; use a dedicated equal"
+  | Float_equal ->
+    "= against a float literal; use Float.equal or an explicit tolerance"
+
+type diagnostic = { file : string; line : int; rule : string; message : string }
+
+let compare_diagnostic a b =
+  match compare a.file b.file with
+  | 0 -> (
+    match compare a.line b.line with 0 -> compare a.rule b.rule | c -> c)
+  | c -> c
+
+let to_string d = Printf.sprintf "%s:%d: [%s] %s" d.file d.line d.rule d.message
+
+(* ------------------------------------------------------------------ *)
+(* AST checks                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+(* Matches [segs] at the end of [path], so both [Obj.magic] and
+   [Stdlib.Obj.magic] hit. *)
+let ends_with path segs =
+  let lp = List.length path and ls = List.length segs in
+  lp >= ls && drop (lp - ls) path = segs
+
+(* Identifier-name heuristic for the record-compare rule: strip
+   trailing digits, primes and underscores, then an optional plural
+   's', and look the stem up.  [inst1], [placement'], [flows] all
+   resolve to their record stem. *)
+let record_stems = [ "inst"; "instance"; "placement"; "graph"; "flow"; "outcome" ]
+
+let record_ish name =
+  let n = String.lowercase_ascii name in
+  let len = ref (String.length n) in
+  while
+    !len > 0
+    && match n.[!len - 1] with '0' .. '9' | '_' | '\'' -> true | _ -> false
+  do
+    decr len
+  done;
+  let base = String.sub n 0 !len in
+  let depluraled =
+    if !len > 1 && n.[!len - 1] = 's' then Some (String.sub n 0 (!len - 1))
+    else None
+  in
+  List.mem base record_stems
+  || match depluraled with Some d -> List.mem d record_stems | None -> false
+
+let ident_path (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { Asttypes.txt; _ } -> Some (flatten_lid txt)
+  | _ -> None
+
+let plain_record_ident (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_ident { Asttypes.txt = Longident.Lident n; _ } ->
+    record_ish n
+  | _ -> false
+
+let is_float_literal (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_constant (Parsetree.Pconst_float _) -> true
+  | _ -> false
+
+let is_catch_all_pattern (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_any -> true
+  | Parsetree.Ppat_alias ({ Parsetree.ppat_desc = Parsetree.Ppat_any; _ }, _)
+    ->
+    true
+  | _ -> false
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let collect ~rules ~file structure =
+  let out = ref [] in
+  let enabled r = List.mem r rules in
+  let add r loc message =
+    out := { file; line = line_of loc; rule = rule_id r; message } :: !out
+  in
+  let check_ident loc path =
+    if enabled Obj_magic && ends_with path [ "Obj"; "magic" ] then
+      add Obj_magic loc "Obj.magic is banned (unsound; see PR 2's heap dummy)";
+    if
+      enabled Bare_unix_io
+      && (ends_with path [ "Unix"; "read" ]
+         || ends_with path [ "Unix"; "write" ]
+         || ends_with path [ "Unix"; "single_write" ])
+    then
+      add Bare_unix_io loc
+        (Printf.sprintf
+           "bare %s is EINTR/short-write-unsafe; use Protocol.write_all / \
+            Protocol.read_exact"
+           (String.concat "." path));
+    if enabled Naked_mutex_lock && ends_with path [ "Mutex"; "lock" ] then
+      add Naked_mutex_lock loc
+        "naked Mutex.lock leaks the mutex on exceptions; use \
+         Tdmd_prelude.Locked.with_lock";
+    if enabled Direct_io then begin
+      let direct =
+        match path with
+        | [ "print_endline" ]
+        | [ "Stdlib"; "print_endline" ]
+        | [ "prerr_endline" ]
+        | [ "Stdlib"; "prerr_endline" ]
+        | [ "print_string" ]
+        | [ "Stdlib"; "print_string" ]
+        | [ "prerr_string" ]
+        | [ "Stdlib"; "prerr_string" ]
+        | [ "print_newline" ]
+        | [ "Stdlib"; "print_newline" ]
+        | [ "print_int" ]
+        | [ "Stdlib"; "print_int" ]
+        | [ "print_float" ]
+        | [ "Stdlib"; "print_float" ]
+        | [ "print_char" ]
+        | [ "Stdlib"; "print_char" ] ->
+          true
+        | _ ->
+          ends_with path [ "Printf"; "printf" ]
+          || ends_with path [ "Printf"; "eprintf" ]
+          || ends_with path [ "Format"; "printf" ]
+          || ends_with path [ "Format"; "eprintf" ]
+      in
+      if direct then
+        add Direct_io loc
+          (Printf.sprintf "%s in lib/: telemetry must flow through Tdmd_obs"
+             (String.concat "." path))
+    end
+  in
+  let check_apply loc f args =
+    match ident_path f with
+    | None -> ()
+    | Some path ->
+      let op = match List.rev path with o :: _ -> o | [] -> "" in
+      let operands = List.map snd args in
+      if
+        enabled Float_equal
+        && (op = "=" || op = "<>" || op = "==" || op = "!=")
+        && List.exists is_float_literal operands
+      then
+        add Float_equal loc
+          (Printf.sprintf
+             "(%s) against a float literal; use Float.equal or an explicit \
+              tolerance"
+             op);
+      if
+        enabled Poly_compare_record
+        && (op = "=" || op = "<>"
+           || path = [ "compare" ]
+           || path = [ "Stdlib"; "compare" ])
+        && List.exists plain_record_ident operands
+      then
+        add Poly_compare_record loc
+          (Printf.sprintf
+             "polymorphic %s on an instance/placement/graph/flow value; use a \
+              dedicated equal/compare"
+             (String.concat "." path))
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      Ast_iterator.expr =
+        (fun it e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { Asttypes.txt; _ } ->
+            check_ident e.Parsetree.pexp_loc (flatten_lid txt)
+          | Parsetree.Pexp_apply (f, args) ->
+            check_apply e.Parsetree.pexp_loc f args
+          | Parsetree.Pexp_try (_, cases) ->
+            if enabled Catch_all then
+              List.iter
+                (fun (c : Parsetree.case) ->
+                  if
+                    is_catch_all_pattern c.Parsetree.pc_lhs
+                    && c.Parsetree.pc_guard = None
+                  then
+                    add Catch_all c.Parsetree.pc_lhs.Parsetree.ppat_loc
+                      "catch-all handler swallows \
+                       Out_of_memory/Stack_overflow; match the exceptions \
+                       you mean and re-raise the rest")
+                cases
+          | Parsetree.Pexp_match (_, cases) ->
+            if enabled Catch_all then
+              List.iter
+                (fun (c : Parsetree.case) ->
+                  match c.Parsetree.pc_lhs.Parsetree.ppat_desc with
+                  | Parsetree.Ppat_exception p
+                    when is_catch_all_pattern p && c.Parsetree.pc_guard = None
+                    ->
+                    add Catch_all p.Parsetree.ppat_loc
+                      "catch-all exception case swallows \
+                       Out_of_memory/Stack_overflow; match the exceptions \
+                       you mean"
+                  | _ -> ())
+                cases
+          | _ -> ());
+          Ast_iterator.default_iterator.Ast_iterator.expr it e);
+    }
+  in
+  iter.Ast_iterator.structure iter structure;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [(* tdmd-lint: allow RULE[,RULE]* — reason *)] — the rule list must
+   name known rules and the reason is mandatory.  A suppression covers
+   the line it sits on and the following line, so both trailing and
+   preceding-line comments work. *)
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+let is_separator tok =
+  tok = "\xe2\x80\x94" (* em dash *) || tok = "-" || tok = "--"
+  || String.length tok >= 3 && String.sub tok 0 3 = "\xe2\x80\x94"
+
+let parse_suppression ~file ~line text =
+  (* [text] is everything after "tdmd-lint: allow" up to "*)" or EOL. *)
+  let tokens =
+    String.split_on_char ' ' text
+    |> List.concat_map (String.split_on_char ',')
+    |> List.map String.trim
+    |> List.filter (fun t -> t <> "")
+  in
+  let rec take_rules acc = function
+    | tok :: rest when not (is_separator tok) -> (
+      match rule_of_id tok with
+      | Some r -> take_rules (r :: acc) rest
+      | None -> (List.rev acc, Some tok, rest))
+    | rest -> (List.rev acc, None, rest)
+  in
+  let rules, bad, rest = take_rules [] tokens in
+  let reason =
+    match rest with
+    | sep :: tail when is_separator sep -> String.concat " " tail
+    | tail -> String.concat " " tail
+  in
+  match (rules, bad) with
+  | _, Some tok ->
+    Error
+      {
+        file;
+        line;
+        rule = "suppression";
+        message = Printf.sprintf "unknown rule %S in suppression comment" tok;
+      }
+  | [], None ->
+    Error
+      {
+        file;
+        line;
+        rule = "suppression";
+        message = "suppression comment names no rule";
+      }
+  | rules, None ->
+    if String.trim reason = "" then
+      Error
+        {
+          file;
+          line;
+          rule = "suppression";
+          message =
+            "suppression comment needs a reason: (* tdmd-lint: allow RULE \
+             \xe2\x80\x94 reason *)";
+        }
+    else Ok rules
+
+let scan_suppressions ~file source =
+  let table : (int, rule list) Hashtbl.t = Hashtbl.create 8 in
+  let errors = ref [] in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line_text ->
+      let line = i + 1 in
+      match find_sub line_text "tdmd-lint: allow" 0 with
+      | None -> ()
+      | Some at ->
+        let start = at + String.length "tdmd-lint: allow" in
+        let stop =
+          match find_sub line_text "*)" start with
+          | Some e -> e
+          | None -> String.length line_text
+        in
+        let text = String.sub line_text start (stop - start) in
+        (match parse_suppression ~file ~line text with
+        | Ok rules ->
+          let prev =
+            match Hashtbl.find_opt table line with Some rs -> rs | None -> []
+          in
+          Hashtbl.replace table line (rules @ prev)
+        | Error d -> errors := d :: !errors))
+    lines;
+  (table, !errors)
+
+let suppressed table rule line =
+  let covers l =
+    match Hashtbl.find_opt table l with
+    | Some rules -> List.exists (fun r -> rule_id r = rule) rules
+    | None -> false
+  in
+  covers line || covers (line - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_string ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+let lint_source ?(rules = all_rules) ~file source =
+  match parse_string ~file source with
+  | exception exn ->
+    let line =
+      match exn with
+      | Syntaxerr.Error e -> line_of (Syntaxerr.location_of_error e)
+      | _ -> 1
+    in
+    [ { file; line; rule = "parse-error"; message = "cannot parse file" } ]
+  | structure ->
+    let raw = collect ~rules ~file structure in
+    let table, sup_errors = scan_suppressions ~file source in
+    let kept =
+      List.filter (fun d -> not (suppressed table d.rule d.line)) raw
+    in
+    List.sort compare_diagnostic (sup_errors @ kept)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?rules path = lint_source ?rules ~file:path (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Per-path rule policy                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The repo's scoping contract:
+   - obj-magic, float-equal: everywhere;
+   - bare-unix-io: everywhere except the EINTR-safe wrappers themselves
+     (lib/server/protocol.ml);
+   - naked-mutex-lock: everywhere except the combinator's own
+     implementation (lib/prelude/locked.ml);
+   - no-direct-io: lib/ only (bin/bench/test own their stdout);
+   - catch-all: everywhere except test/ (tests may shrug at cleanup);
+   - poly-compare-record: lib/core/ hot paths only. *)
+let rules_for_path path =
+  let under dir =
+    let p = dir ^ "/" in
+    String.length path >= String.length p
+    && String.sub path 0 (String.length p) = p
+  in
+  List.filter
+    (fun r ->
+      match r with
+      | Obj_magic | Float_equal -> true
+      | Bare_unix_io -> path <> "lib/server/protocol.ml"
+      | Naked_mutex_lock -> path <> "lib/prelude/locked.ml"
+      | Direct_io -> under "lib"
+      | Catch_all -> not (under "test")
+      | Poly_compare_record -> under "lib/core")
+    all_rules
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_key d = Printf.sprintf "%s:%d:%s" d.file d.line d.rule
+
+let load_baseline path =
+  let table = Hashtbl.create 16 in
+  (if Sys.file_exists path then
+     let content = read_file path in
+     List.iter
+       (fun line ->
+         let line = String.trim line in
+         if line <> "" && line.[0] <> '#' then Hashtbl.replace table line ())
+       (String.split_on_char '\n' content));
+  table
+
+let baseline_entries diagnostics =
+  List.map baseline_key (List.sort compare_diagnostic diagnostics)
+
+(* ------------------------------------------------------------------ *)
+(* JSON report                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let diagnostics_to_json diagnostics =
+  let item d =
+    Printf.sprintf
+      "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+      (json_escape d.file) d.line (json_escape d.rule) (json_escape d.message)
+  in
+  Printf.sprintf "{\"tool\":\"tdmd-lint\",\"count\":%d,\"violations\":[%s]}"
+    (List.length diagnostics)
+    (String.concat "," (List.map item diagnostics))
