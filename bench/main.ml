@@ -346,12 +346,20 @@ let serve_bench () =
   let rng = Rng.create 4242 in
   let tree_inst = Scenario.build_tree rng Scenario.default_tree in
   let k = Scenario.default_tree.Scenario.k in
-  let session = Tdmd_server.Session.of_tree ~churn_k:k tree_inst in
+  let session =
+    Tdmd_server.Session.create_tree
+      ~config:
+        {
+          Tdmd_server.Session.Config.default with
+          Tdmd_server.Session.Config.churn_k = k;
+        }
+      tree_inst
+  in
   let sock = Filename.temp_file "tdmd-bench" ".sock" in
   Sys.remove sock;
   let addr = P.Unix_sock sock in
   let server =
-    Server.start
+    Server.start_session
       {
         Server.addr;
         domains = Parallel.recommended_domains ();
@@ -459,12 +467,238 @@ let serve_bench () =
           Printf.sprintf "%.2f" (pct 0.99);
         ])
     levels;
-  close_out oc;
   Server.request_stop server;
   Server.wait server;
   Table.print table;
-  Printf.printf "\nwrote %s (%d concurrency levels)\n" serve_json_path
-    (List.length levels)
+  (* Shard sweep: closed-loop churn (arrive/depart) against a durable
+     sharded engine, fixed client count across shard counts — the rps
+     column isolates what sharding buys.  On the line topology each
+     shard's churn engine scans only its own region's flows, and the
+     shards' group commits overlap, so rps should grow with the shard
+     count.  Per-shard queue/batch counters come back over the wire via
+     the [stats] op and land in the JSON record. *)
+  print_endline "\n== serve bench: sharded churn, arrive/depart ==\n";
+  let shard_levels = if serve_quick then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let churn_clients = if serve_quick then 4 else 8 in
+  let churn_per_client = if serve_quick then 30 else 150 in
+  let n_vertices = 256 in
+  let g = Tdmd_graph.Digraph.create n_vertices in
+  for v = 0 to n_vertices - 2 do
+    Tdmd_graph.Digraph.add_undirected g v (v + 1)
+  done;
+  let base_inst =
+    Tdmd.Instance.make ~graph:g
+      ~flows:[ Tdmd_flow.Flow.make ~id:0 ~rate:1 ~path:[ 0; 1; 2 ] ]
+      ~lambda:0.5
+  in
+  let rec rm_rf_rec dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f ->
+          let p = Filename.concat dir f in
+          if Sys.is_directory p then rm_rf_rec p else Sys.remove p)
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  let shard_table =
+    Table.create
+      [ "shards"; "requests"; "errors"; "wall (s)"; "req/s"; "speedup";
+        "p50 (ms)"; "p99 (ms)"; "batch avg"; "queue peak" ]
+  in
+  let base_rps = ref nan in
+  List.iter
+    (fun shards ->
+      let dir = Filename.temp_file "tdmd-bench-shard" "" in
+      Sys.remove dir;
+      (* Seeds at region midpoints so the BFS fronts meet at the block
+         boundaries: shard i owns a contiguous slice of the line. *)
+      let seeds =
+        List.init shards (fun i ->
+            (i * n_vertices / shards) + (n_vertices / (2 * shards)))
+      in
+      let partition = Tdmd_topo.Partition.make ~seeds g ~shards in
+      let lo = Array.make shards max_int and hi = Array.make shards (-1) in
+      for v = 0 to n_vertices - 1 do
+        let s = Tdmd_topo.Partition.owner partition v in
+        if v < lo.(s) then lo.(s) <- v;
+        if v > hi.(s) then hi.(s) <- v
+      done;
+      let config =
+        {
+          Tdmd_server.Session.Config.default with
+          Tdmd_server.Session.Config.durability =
+            Some
+              (Tdmd_server.Session.durability ~fsync:Tdmd_server.Journal.Always
+                 dir);
+        }
+      in
+      let engine =
+        Tdmd_server.Engine.create ~config ~shards ~partition
+          (Tdmd_server.Engine.General base_inst)
+      in
+      let sock = Filename.temp_file "tdmd-bench" ".sock" in
+      Sys.remove sock;
+      let addr = P.Unix_sock sock in
+      let server =
+        Server.start
+          {
+            Server.addr;
+            domains = churn_clients;
+            queue_capacity = 256;
+            default_deadline_ms = None;
+            metrics_out = None;
+          }
+          engine
+      in
+      let total = churn_clients * churn_per_client in
+      let latencies_ms = Array.make total nan in
+      let errors = Array.make churn_clients 0 in
+      let t0 = Tdmd_obs.Clock.now_ns () in
+      let run ci =
+        match Client.connect_retry addr with
+        | Error _ -> errors.(ci) <- churn_per_client
+        | Ok c ->
+          let s = ci mod shards in
+          let rng = Rng.create (7001 + ci) in
+          let live = ref [] in
+          for r = 0 to churn_per_client - 1 do
+            let i = (ci * churn_per_client) + r in
+            let s0 = Tdmd_obs.Clock.now_ns () in
+            let resp =
+              if r mod 3 = 2 && !live <> [] then begin
+                let id = List.hd !live in
+                live := List.tl !live;
+                Client.rpc c (P.Depart id)
+              end
+              else begin
+                let id = ((ci + 1) * 1_000_000) + r in
+                let path =
+                  if r mod 16 = 15 && shards > 1 && s < shards - 1 then
+                    (* Straddle the next block boundary: exercises the
+                       cross-shard two-phase path. *)
+                    List.init 6 (fun j -> hi.(s) - 2 + j)
+                  else begin
+                    let a = lo.(s) + Rng.int rng (hi.(s) - lo.(s) - 1) in
+                    let b = min hi.(s) (a + 1 + Rng.int rng 5) in
+                    List.init (b - a + 1) (fun j -> a + j)
+                  end
+                in
+                let resp =
+                  Client.rpc c (P.Arrive { id; rate = 1 + Rng.int rng 8; path })
+                in
+                (match resp with
+                | Ok j
+                  when Tdmd_obs.Json.member "ok" j
+                       = Some (Tdmd_obs.Json.Bool true) ->
+                  live := !live @ [ id ]
+                | Ok _ | Error _ -> ());
+                resp
+              end
+            in
+            match resp with
+            | Ok j
+              when Tdmd_obs.Json.member "ok" j = Some (Tdmd_obs.Json.Bool true)
+              ->
+              latencies_ms.(i) <-
+                Int64.to_float (Int64.sub (Tdmd_obs.Clock.now_ns ()) s0) /. 1e6
+            | Ok _ | Error _ -> errors.(ci) <- errors.(ci) + 1
+          done;
+          Client.close c
+      in
+      let threads = List.init churn_clients (fun ci -> Thread.create run ci) in
+      List.iter Thread.join threads;
+      let wall =
+        Int64.to_float (Int64.sub (Tdmd_obs.Clock.now_ns ()) t0) /. 1e9
+      in
+      (* Per-shard queue/batch counters, over the wire like any client
+         would read them ([stats] carries a ["shards"] list when the
+         engine is sharded). *)
+      let per_shard =
+        match Client.connect_retry addr with
+        | Error _ -> Tdmd_obs.Json.List []
+        | Ok c ->
+          let stats = Client.rpc c P.Stats in
+          Client.close c;
+          (match stats with
+          | Ok j -> (
+            match Tdmd_obs.Json.member "shards" j with
+            | Some (Tdmd_obs.Json.List l) -> Tdmd_obs.Json.List l
+            | _ -> Tdmd_obs.Json.List [])
+          | Error _ -> Tdmd_obs.Json.List [])
+      in
+      Server.request_stop server;
+      Server.wait server;
+      Tdmd_server.Engine.close engine;
+      rm_rf_rec dir;
+      let errors = Array.fold_left ( + ) 0 errors in
+      let samples =
+        Array.of_list
+          (List.filter
+             (fun x -> not (Float.is_nan x))
+             (Array.to_list latencies_ms))
+      in
+      let pct p =
+        if Array.length samples = 0 then nan else Stats.percentile samples p
+      in
+      let throughput = float_of_int (total - errors) /. Float.max wall 1e-9 in
+      if shards = 1 then base_rps := throughput;
+      let speedup = throughput /. !base_rps in
+      let shard_float get =
+        match per_shard with
+        | Tdmd_obs.Json.List (_ :: _ as l) ->
+          let vs =
+            List.filter_map
+              (fun o ->
+                match Tdmd_obs.Json.member get o with
+                | Some (Tdmd_obs.Json.Float f) -> Some f
+                | Some (Tdmd_obs.Json.Int i) -> Some (float_of_int i)
+                | _ -> None)
+              l
+          in
+          if vs = [] then None
+          else Some (List.fold_left Float.max neg_infinity vs)
+        | _ -> None
+      in
+      Tdmd_obs.Sink.emit sink
+        (Tdmd_obs.Json.Obj
+           [
+             ("event", Tdmd_obs.Json.String "bench-serve-shards");
+             ("shards", Tdmd_obs.Json.Int shards);
+             ("clients", Tdmd_obs.Json.Int churn_clients);
+             ("requests", Tdmd_obs.Json.Int total);
+             ("errors", Tdmd_obs.Json.Int errors);
+             ("wall_seconds", Tdmd_obs.Json.Float wall);
+             ("throughput_rps", Tdmd_obs.Json.Float throughput);
+             ("speedup_vs_one_shard", Tdmd_obs.Json.Float speedup);
+             ("p50_ms", Tdmd_obs.Json.Float (pct 0.50));
+             ("p95_ms", Tdmd_obs.Json.Float (pct 0.95));
+             ("p99_ms", Tdmd_obs.Json.Float (pct 0.99));
+             ("per_shard", per_shard);
+           ]);
+      Table.add_row shard_table
+        [
+          string_of_int shards;
+          string_of_int total;
+          string_of_int errors;
+          Printf.sprintf "%.3f" wall;
+          Printf.sprintf "%.0f" throughput;
+          Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%.2f" (pct 0.50);
+          Printf.sprintf "%.2f" (pct 0.99);
+          (match shard_float "fsync_batch_avg" with
+          | Some f -> Printf.sprintf "%.1f" f
+          | None -> "-");
+          (match shard_float "queue_peak" with
+          | Some f -> Printf.sprintf "%.0f" f
+          | None -> "-");
+        ])
+    shard_levels;
+  close_out oc;
+  Table.print shard_table;
+  Printf.printf "\nwrote %s (%d concurrency levels, %d shard levels)\n"
+    serve_json_path (List.length levels)
+    (List.length shard_levels)
 
 (* ------------------------------------------------------------------ *)
 (* Recover bench: WAL append cost per fsync policy, replay throughput  *)
@@ -545,7 +779,12 @@ let recover_bench () =
     (fun fsync ->
       let dir = temp_dir () in
       let cfg = S.durability ~fsync dir in
-      let session = S.of_general ~durability:cfg ~churn_k:8 inst in
+      let session =
+        S.create
+          ~config:
+            { S.Config.default with S.Config.durability = Some cfg }
+          inst
+      in
       let t0 = Tdmd_obs.Clock.now_ns () in
       drive session;
       let append_s =

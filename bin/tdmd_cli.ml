@@ -334,35 +334,56 @@ let snapshot_every_arg =
           "Snapshot (and truncate the journal) after every $(docv) journaled \
            ops; 0 = only at startup and shutdown")
 
+(* A durability root already holding state — either the flat PR 4
+   layout (snapshot in the root) or the sharded one (shard-0/ dir) —
+   is continued rather than started over. *)
+let durability_holds_state cfg =
+  Sys.file_exists (Tdmd_server.Session.snapshot_file cfg)
+  || Sys.file_exists (Filename.concat cfg.Tdmd_server.Session.dir "shard-0")
+
 let serve listen topology size lambda density seed instance_file domains queue
-    deadline_ms churn_k metrics_out journal fsync snapshot_every =
+    deadline_ms churn_k shards metrics_out journal fsync snapshot_every =
+  if shards < 1 then begin
+    Printf.eprintf "--shards must be >= 1\n";
+    exit 2
+  end;
   let durability = parse_durability journal fsync snapshot_every in
-  let session =
+  let config =
+    {
+      Tdmd_server.Session.Config.default with
+      Tdmd_server.Session.Config.churn_k;
+      Tdmd_server.Session.Config.durability;
+    }
+  in
+  let engine =
     match durability with
-    | Some cfg when Sys.file_exists (Tdmd_server.Session.snapshot_file cfg) -> (
-      (* The directory already holds a session: continue it (crash or
-         clean restart) instead of starting over. *)
-      match Tdmd_server.Session.recover cfg with
-      | Ok s ->
-        Printf.printf "tdmd serve: recovered session from %s\n%!"
+    | Some cfg when durability_holds_state cfg -> (
+      match Tdmd_server.Engine.recover cfg with
+      | Ok e ->
+        Printf.printf "tdmd serve: recovered %d shard(s) from %s\n%!"
+          (Tdmd_server.Engine.shard_count e)
           cfg.Tdmd_server.Session.dir;
-        s
+        e
       | Error msg ->
         Printf.eprintf "cannot recover from %s: %s\n"
           cfg.Tdmd_server.Session.dir msg;
         exit 2)
     | _ -> (
-      match instance_file with
-      | Some file ->
-        Tdmd_server.Session.of_general ?durability ~churn_k
-          (load_instance_file file)
-      | None -> (
-        let tree_inst, general =
-          build_instances topology ~size ~lambda ~density ~seed
-        in
-        match tree_inst with
-        | Some t -> Tdmd_server.Session.of_tree ?durability ~churn_k t
-        | None -> Tdmd_server.Session.of_general ?durability ~churn_k general))
+      let source =
+        match instance_file with
+        | Some file -> Tdmd_server.Engine.General (load_instance_file file)
+        | None -> (
+          let tree_inst, general =
+            build_instances topology ~size ~lambda ~density ~seed
+          in
+          match tree_inst with
+          | Some t -> Tdmd_server.Engine.Tree t
+          | None -> Tdmd_server.Engine.General general)
+      in
+      try Tdmd_server.Engine.create ~config ~shards source
+      with Invalid_argument msg ->
+        Printf.eprintf "--shards: %s\n" msg;
+        exit 2)
   in
   let cfg =
     {
@@ -374,7 +395,7 @@ let serve listen topology size lambda density seed instance_file domains queue
     }
   in
   let server =
-    try Tdmd_server.Server.start cfg session
+    try Tdmd_server.Server.start cfg engine
     with Unix.Unix_error (err, _, arg) ->
       Printf.eprintf "cannot listen on %s: %s %s\n"
         (Tdmd_server.Protocol.addr_to_string listen)
@@ -384,17 +405,19 @@ let serve listen topology size lambda density seed instance_file domains queue
   let stop _ = Tdmd_server.Server.request_stop server in
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-  let inst = Tdmd_server.Session.general session in
+  let inst = Tdmd_server.Engine.general engine in
   Printf.printf
-    "tdmd serve: %d vertices, %d flows, lambda %g | %d worker domain(s), \
-     queue %d | listening on %s\n\
+    "tdmd serve: %d vertices, %d flows, lambda %g | %d shard(s), %d worker \
+     domain(s), queue %d | listening on %s\n\
      %!"
     (Tdmd.Instance.vertex_count inst)
     (Tdmd.Instance.flow_count inst)
-    inst.Tdmd.Instance.lambda domains queue
+    inst.Tdmd.Instance.lambda
+    (Tdmd_server.Engine.shard_count engine)
+    domains queue
     (Tdmd_server.Protocol.addr_to_string listen);
   Tdmd_server.Server.wait server;
-  Tdmd_server.Session.close session;
+  Tdmd_server.Engine.close engine;
   print_endline "tdmd serve: drained, bye"
 
 let serve_cmd =
@@ -421,14 +444,23 @@ let serve_cmd =
   let churn_k_arg =
     Arg.(value & opt int 8 & info [ "churn-k" ] ~doc:"Middlebox budget of the churn engine")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Partition the topology into $(docv) shards, each with its own \
+             churn engine and journal; 1 (the default) is the pre-shard \
+             single-engine behaviour, bit for bit")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the placement service (length-prefixed JSON over a socket)")
     Term.(
       const serve $ listen_arg $ topology_arg $ size_arg $ lambda_arg
       $ density_arg $ seed_arg $ instance_arg $ domains_arg $ queue_arg
-      $ deadline_arg $ churn_k_arg $ metrics_out_arg $ journal_arg $ fsync_arg
-      $ snapshot_every_arg)
+      $ deadline_arg $ churn_k_arg $ shards_arg $ metrics_out_arg
+      $ journal_arg $ fsync_arg $ snapshot_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover: offline rebuild + compaction of a journal directory        *)
@@ -440,28 +472,33 @@ let recover journal fsync =
     Printf.eprintf "recover: --journal DIR is required\n";
     exit 2
   | Some cfg -> (
-    match Tdmd_server.Session.recover cfg with
+    (* [Engine.recover] detects the layout: a flat PR 4 directory comes
+       back as one shard, a shard-<i> tree as a sharded engine with the
+       coordinator's in-flight cross ops replayed. *)
+    match Tdmd_server.Engine.recover cfg with
     | Error msg ->
       Printf.eprintf "cannot recover from %s: %s\n"
         cfg.Tdmd_server.Session.dir msg;
       exit 2
-    | Ok session ->
+    | Ok engine ->
       let fields =
         ("op", Tdmd_obs.Json.String "recover")
-        :: Tdmd_server.Session.churn_stats session
-        @ Tdmd_server.Session.durability_stats session
+        :: ( "shards",
+             Tdmd_obs.Json.Int (Tdmd_server.Engine.shard_count engine) )
+        :: Tdmd_server.Engine.churn_stats engine
+        @ Tdmd_server.Engine.stats_fields engine
       in
-      (* [close] writes a fresh snapshot, so recover doubles as offline
-         compaction: the journal is empty afterwards. *)
-      Tdmd_server.Session.close session;
+      (* [close] writes fresh snapshots, so recover doubles as offline
+         compaction: the journals are empty afterwards. *)
+      Tdmd_server.Engine.close engine;
       print_endline (Tdmd_obs.Json.to_string (Tdmd_obs.Json.Obj fields)))
 
 let recover_cmd =
   Cmd.v
     (Cmd.info "recover"
        ~doc:
-         "Rebuild a session from a journal directory (snapshot + WAL replay), \
-          print its state, and compact the journal")
+         "Rebuild a session (or sharded engine) from a journal directory \
+          (snapshot + WAL replay), print its state, and compact the journals")
     Term.(const recover $ journal_arg $ fsync_arg)
 
 let client connect op algo k seed on flow_id rate path ms deadline_ms req_id =

@@ -5,6 +5,7 @@ type t = {
   lambda : float;
   k : int;
   mutable current : Flow.t list;  (* arrival order *)
+  ids : (int, unit) Hashtbl.t;    (* id index over [current] *)
   mutable placed : int list;      (* deployment, selection order *)
   mutable moves : int;
   tel : Tdmd_obs.Telemetry.t;
@@ -14,7 +15,16 @@ let create ~graph ~lambda ~k =
   if k < 1 then invalid_arg "Incremental.create: k must be >= 1";
   let tel = Tdmd_obs.Telemetry.create () in
   Tdmd_obs.Telemetry.count tel "budget" k;
-  { graph; lambda; k; current = []; placed = []; moves = 0; tel }
+  {
+    graph;
+    lambda;
+    k;
+    current = [];
+    ids = Hashtbl.create 64;
+    placed = [];
+    moves = 0;
+    tel;
+  }
 
 let instance t =
   Instance.make ~graph:t.graph ~flows:t.current ~lambda:t.lambda
@@ -43,9 +53,14 @@ let restore ~graph ~lambda ~k ~flows ~placed ~moves ~arrivals ~departures =
       | Ok () -> ()
       | Error msg -> invalid_arg ("Incremental.restore: " ^ msg))
     flows;
-  let ids = List.map (fun f -> f.Flow.id) flows in
-  if List.length (List.sort_uniq compare ids) <> List.length ids then
-    invalid_arg "Incremental.restore: duplicate flow ids";
+  let ids = Hashtbl.create (max 64 (List.length flows)) in
+  List.iter
+    (fun f ->
+      let id = f.Flow.id in
+      if Hashtbl.mem ids id then
+        invalid_arg "Incremental.restore: duplicate flow ids";
+      Hashtbl.replace ids id ())
+    flows;
   if moves < 0 || arrivals < 0 || departures < 0 then
     invalid_arg "Incremental.restore: negative counters";
   let tel = Tdmd_obs.Telemetry.create () in
@@ -53,9 +68,11 @@ let restore ~graph ~lambda ~k ~flows ~placed ~moves ~arrivals ~departures =
   Tdmd_obs.Telemetry.count tel "moves" moves;
   Tdmd_obs.Telemetry.count tel "arrivals" arrivals;
   Tdmd_obs.Telemetry.count tel "departures" departures;
-  { graph; lambda; k; current = flows; placed; moves; tel }
+  { graph; lambda; k; current = flows; ids; placed; moves; tel }
 
 let flows t = t.current
+let mem_flow t id = Hashtbl.mem t.ids id
+let flow_count t = Hashtbl.length t.ids
 let bandwidth t = Bandwidth.total (instance t) (placement t)
 let feasible t = Allocation.is_feasible (instance t) (placement t)
 let moves t = t.moves
@@ -90,13 +107,14 @@ let best_marginal inst placed =
   if !best < 0 then None else Some !best
 
 let arrive t f =
-  if List.exists (fun g -> g.Flow.id = f.Flow.id) t.current then
+  if Hashtbl.mem t.ids f.Flow.id then
     invalid_arg "Incremental.arrive: duplicate flow id";
   (match Flow.validate t.graph f with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Incremental.arrive: " ^ msg));
   Tdmd_obs.Telemetry.count t.tel "arrivals" 1;
   t.current <- t.current @ [ f ];
+  Hashtbl.replace t.ids f.Flow.id ();
   let inst = instance t in
   if not (Allocation.is_feasible inst (placement t)) then begin
     (* Prefer serving the new flow at its highest-marginal on-path
@@ -122,6 +140,7 @@ let arrive t f =
 let depart t id =
   Tdmd_obs.Telemetry.count t.tel "departures" 1;
   t.current <- List.filter (fun f -> f.Flow.id <> id) t.current;
+  Hashtbl.remove t.ids id;
   let inst = instance t in
   (* Boxes that serve nobody are pure waste now. *)
   let p = placement t in

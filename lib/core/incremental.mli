@@ -29,6 +29,15 @@ val depart : t -> int -> unit
 (** Remove the flow with the given id; unknown ids are ignored. *)
 
 val flows : t -> Tdmd_flow.Flow.t list
+
+val mem_flow : t -> int -> bool
+(** O(1) id-index lookup: is a flow with this id currently live?  The
+    serve path checks this on every arrival (duplicate-id conflict), so
+    it must not scan {!flows}. *)
+
+val flow_count : t -> int
+(** Number of live flows, O(1) (equals [List.length (flows t)]). *)
+
 val placement : t -> Placement.t
 val bandwidth : t -> float
 val feasible : t -> bool

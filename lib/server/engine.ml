@@ -1,0 +1,490 @@
+module Json = Tdmd_obs.Json
+module Locked = Tdmd_prelude.Locked
+module Partition = Tdmd_topo.Partition
+
+type source =
+  | General of Tdmd.Instance.t
+  | Tree of Tdmd.Instance.Tree.t
+
+(* Cross-shard coordinator: a tiny journal of prepare/done pairs.  A
+   prepare is made durable BEFORE the op is handed to its home shard;
+   the done record retires it once the shard has decided (applied,
+   deduplicated or refused).  Recovery re-submits every prepare without
+   a done — the shard's xid-keyed dedup table makes that idempotent. *)
+type coord = {
+  journal : Journal.t;
+  lock : Mutex.t;
+  tag : string;  (* per-boot unique prefix for generated xids *)
+  mutable seq : int;
+  mutable inflight : int;
+  mutable prepares : int;
+  mutable replayed : int;
+}
+
+type t = {
+  shards : Shard.t array;
+  router : Router.t;
+  coord : coord option;  (* durable and sharded only *)
+  general : Tdmd.Instance.t;  (* canonical static instance *)
+}
+
+let shard_count t = Array.length t.shards
+let router t = t.router
+let shard t i = t.shards.(i)
+let general t = t.general
+
+let shard_dir root i = Filename.concat root (Printf.sprintf "shard-%d" i)
+let coord_file root = Filename.concat root "coord.wal"
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let fresh_tag () =
+  Printf.sprintf "xc-%d-%Ld" (Unix.getpid ()) (Tdmd_obs.Clock.now_ns ())
+
+let make_coord journal =
+  {
+    journal;
+    lock = Mutex.create ();
+    tag = fresh_tag ();
+    seq = 0;
+    inflight = 0;
+    prepares = 0;
+    replayed = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let shard_config ~(config : Session.Config.t) ~root i =
+  match config.Session.Config.durability with
+  | None -> config
+  | Some d ->
+    {
+      config with
+      Session.Config.durability =
+        Some { d with Session.dir = shard_dir root i };
+    }
+
+let build_session ~config source =
+  match source with
+  | General inst -> Session.create ~config inst
+  | Tree tree_inst -> Session.create_tree ~config tree_inst
+
+let create ?(config = Session.Config.default) ?(shards = 1) ?partition source =
+  if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
+  let general =
+    match source with
+    | General inst -> inst
+    | Tree tree_inst -> Tdmd.Instance.Tree.to_general tree_inst
+  in
+  let partition =
+    match partition with
+    | Some p ->
+      if Partition.shards p <> shards then
+        invalid_arg "Engine.create: partition/shards mismatch";
+      if Partition.vertex_count p <> Tdmd_graph.Digraph.vertex_count general.Tdmd.Instance.graph
+      then invalid_arg "Engine.create: partition covers a different graph";
+      p
+    | None -> Partition.make general.Tdmd.Instance.graph ~shards
+  in
+  if shards = 1 then begin
+    (* Single shard: the session lives directly in the durability root,
+       exactly as the pre-shard engine laid it out, so existing
+       directories keep recovering and every answer stays bit-identical. *)
+    let session = build_session ~config source in
+    {
+      shards = [| Shard.create ~id:0 session |];
+      router = Router.create partition;
+      coord = None;
+      general;
+    }
+  end
+  else begin
+    let root =
+      match config.Session.Config.durability with
+      | None -> None
+      | Some d ->
+        ensure_dir d.Session.dir;
+        Some d.Session.dir
+    in
+    let shard_arr =
+      Array.init shards (fun i ->
+          let config =
+            match root with
+            | None -> config
+            | Some root -> shard_config ~config ~root i
+          in
+          Shard.create ~id:i (build_session ~config source))
+    in
+    let coord =
+      match root with
+      | None -> None
+      | Some root ->
+        let faults =
+          match config.Session.Config.durability with
+          | Some d -> d.Session.faults
+          | None -> Faults.none
+        in
+        let journal, ops =
+          Journal.open_append ~faults ~fsync:Journal.Always (coord_file root)
+        in
+        (* A fresh engine must not inherit in-flight ops: the shard
+           directories were just seeded empty, so any leftover records
+           are from an aborted directory reuse. *)
+        if ops <> [] then Journal.reset journal;
+        Some (make_coord journal)
+    in
+    { shards = shard_arr; router = Router.create partition; coord; general }
+  end
+
+let of_session session =
+  let general = Session.general session in
+  let n = Tdmd_graph.Digraph.vertex_count general.Tdmd.Instance.graph in
+  {
+    shards = [| Shard.create ~id:0 session |];
+    router = Router.create (Partition.trivial ~n);
+    coord = None;
+    general;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let sharded_layout root = Sys.file_exists (shard_dir root 0)
+
+let detect_shards root =
+  let rec go i = if Sys.file_exists (shard_dir root i) then go (i + 1) else i in
+  go 0
+
+let rebuild_router partition shards =
+  let router = Router.create partition in
+  Array.iter
+    (fun sh ->
+      List.iter
+        (fun (f : Tdmd_flow.Flow.t) ->
+          Router.assign router ~flow_id:f.Tdmd_flow.Flow.id ~shard:(Shard.id sh))
+        (Session.live_flows (Shard.session sh)))
+    shards;
+  router
+
+(* Cross-shard ops whose prepare has no matching done: the coordinator
+   died between handing them to the home shard and retiring them (or
+   before handing them over at all). *)
+let inflight_prepares ops =
+  let done_xids = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Journal.Cross_done { xid } -> Hashtbl.replace done_xids xid ()
+      | Journal.Cross_prepare _ | Journal.Arrive _ | Journal.Depart _ -> ())
+    ops;
+  List.filter_map
+    (function
+      | Journal.Cross_prepare { xid; home; op } when not (Hashtbl.mem done_xids xid)
+        ->
+        Some (xid, home, op)
+      | _ -> None)
+    ops
+
+let batch_op_of_journal xid = function
+  | Journal.Arrive { id; rate; path; req = _ } ->
+    Ok (Session.Batch_arrive { req = Some xid; id; rate; path })
+  | Journal.Depart { flow_id; req = _ } ->
+    Ok (Session.Batch_depart { req = Some xid; flow_id })
+  | Journal.Cross_prepare _ | Journal.Cross_done _ ->
+    Error "coordinator journal: nested cross record"
+
+let recover ?(dedup_cap = Session.default_dedup_cap) (cfg : Session.durability) =
+  let root = cfg.Session.dir in
+  if not (sharded_layout root) then begin
+    (* Flat pre-shard layout: one session in the root. *)
+    let* session = Session.recover ~dedup_cap cfg in
+    let general = Session.general session in
+    let n = Tdmd_graph.Digraph.vertex_count general.Tdmd.Instance.graph in
+    Ok
+      {
+        shards = [| Shard.create ~id:0 session |];
+        router = Router.create (Partition.trivial ~n);
+        coord = None;
+        general;
+      }
+  end
+  else begin
+    let n_shards = detect_shards root in
+    let* sessions =
+      Array.fold_left
+        (fun acc i ->
+          let* acc = acc in
+          let* s =
+            Result.map_error
+              (Printf.sprintf "shard %d: %s" i)
+              (Session.recover ~dedup_cap { cfg with Session.dir = shard_dir root i })
+          in
+          Ok (s :: acc))
+        (Ok [])
+        (Array.init n_shards (fun i -> i))
+    in
+    let sessions = Array.of_list (List.rev sessions) in
+    let shards = Array.mapi (fun i s -> Shard.create ~id:i s) sessions in
+    let general = Session.general sessions.(0) in
+    (* The partition is a deterministic function of the recovered graph,
+       so it is the partition the engine was created with. *)
+    let partition = Partition.make general.Tdmd.Instance.graph ~shards:n_shards in
+    let router = rebuild_router partition shards in
+    let* journal, ops =
+      match
+        Journal.open_append ~faults:cfg.Session.faults ~fsync:Journal.Always
+          (coord_file root)
+      with
+      | r -> Ok r
+      | exception Sys_error msg -> Error msg
+    in
+    let coord = make_coord journal in
+    let engine = { shards; router; coord = Some coord; general } in
+    (* Replay in-flight cross-shard ops in journal order.  The home
+       shard's dedup table is keyed by xid, so an op it already applied
+       answers ["dedup": true] instead of applying twice. *)
+    let* () =
+      List.fold_left
+        (fun acc (xid, home, op) ->
+          let* () = acc in
+          if home < 0 || home >= n_shards then
+            Error (Printf.sprintf "coordinator journal: prepare %s targets shard %d of %d" xid home n_shards)
+          else begin
+            let* bop = batch_op_of_journal xid op in
+            let reply = Shard.submit shards.(home) bop in
+            (match (bop, reply) with
+            | Session.Batch_arrive { id; _ }, Ok _ ->
+              Router.assign router ~flow_id:id ~shard:home
+            | Session.Batch_depart { flow_id; _ }, Ok _ ->
+              Router.release router ~flow_id
+            | _, Error _ -> ());
+            Journal.append journal (Journal.Cross_done { xid });
+            coord.replayed <- coord.replayed + 1;
+            Ok ()
+          end)
+        (Ok ()) (inflight_prepares ops)
+    in
+    (* Every surviving prepare is retired: compact so the next boot
+       replays nothing. *)
+    Journal.reset journal;
+    Ok engine
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Churn                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let tag_shard t ~shard ~cross reply =
+  if Array.length t.shards = 1 then reply
+  else
+    (* Routing detail is appended only in sharded mode, so [--shards 1]
+       replies stay byte-identical to the pre-shard engine. *)
+    match reply with
+    | Ok (Json.Obj fields) ->
+      Ok
+        (Json.Obj
+           (fields
+           @ (("shard", Json.Int shard)
+             :: (if cross then [ ("cross", Json.Bool true) ] else []))))
+    | (Ok _ | Error _) as r -> r
+
+let next_xid coord =
+  coord.seq <- coord.seq + 1;
+  Printf.sprintf "%s-%d" coord.tag coord.seq
+
+(* Two-phase apply of an op whose path spans shards: durable prepare,
+   home-shard apply (its own WAL + group commit), durable done.  The
+   xid — the client's idempotency id when it sent one — rides as the
+   op's [req] on the home shard, so replaying a prepare after a crash
+   cannot double-apply. *)
+let cross_submit t ~home ~req ~journal_op ~batch_op_of_xid =
+  match t.coord with
+  | None ->
+    (* Not durable: no intent to persist, just route to the home shard. *)
+    Shard.submit t.shards.(home) (batch_op_of_xid req)
+  | Some coord ->
+    let xid =
+      match req with
+      | Some r -> r
+      | None -> Locked.with_lock coord.lock (fun () -> next_xid coord)
+    in
+    Locked.with_lock coord.lock (fun () ->
+        Journal.append coord.journal
+          (Journal.Cross_prepare { xid; home; op = journal_op xid });
+        coord.prepares <- coord.prepares + 1;
+        coord.inflight <- coord.inflight + 1);
+    let reply = Shard.submit t.shards.(home) (batch_op_of_xid (Some xid)) in
+    Locked.with_lock coord.lock (fun () ->
+        Journal.append coord.journal (Journal.Cross_done { xid });
+        coord.inflight <- coord.inflight - 1;
+        (* The journal only matters while an op is in flight; compact it
+           the moment it goes quiet so it never grows without bound. *)
+        if coord.inflight = 0 then Journal.reset coord.journal);
+    reply
+
+let arrive t ?req ~id ~rate ~path () =
+  let decision =
+    match Router.route_arrive t.router ~path with
+    | d -> Ok d
+    | exception Invalid_argument msg -> Error ("bad-request", msg)
+  in
+  match decision with
+  | Error _ as e -> e
+  | Ok decision -> (
+    let home, cross =
+      match decision with
+      | Router.Local s -> (s, false)
+      | Router.Cross { home; _ } -> (home, true)
+    in
+    (* Global duplicate-id check: each session only knows its own flows,
+       so an id resident on another shard must be refused here.  A retry
+       (same path, hence same route) lands on its own shard instead and
+       reaches that session's dedup table first, which decides between
+       ["dedup"] and ["conflict"] exactly as the pre-shard engine did. *)
+    match Router.lookup t.router ~flow_id:id with
+    | Some resident when resident <> home ->
+      Error ("conflict", Printf.sprintf "flow %d is already active" id)
+    | Some _ | None ->
+      begin
+      let reply =
+        if cross then
+          cross_submit t ~home ~req
+            ~journal_op:(fun xid ->
+              Journal.Arrive { id; rate; path; req = Some xid })
+            ~batch_op_of_xid:(fun req ->
+              Session.Batch_arrive { req; id; rate; path })
+        else
+          Shard.submit t.shards.(home)
+            (Session.Batch_arrive { req; id; rate; path })
+      in
+      (match reply with
+      | Ok _ -> Router.assign t.router ~flow_id:id ~shard:home
+      | Error _ -> ());
+      tag_shard t ~shard:home ~cross reply
+      end)
+
+let depart t ?req ?shard_hint flow_id =
+  let home = Router.route_depart t.router ?hint:shard_hint ~flow_id () in
+  let reply =
+    Shard.submit t.shards.(home) (Session.Batch_depart { req; flow_id })
+  in
+  (match reply with
+  | Ok _ -> Router.release t.router ~flow_id
+  | Error _ -> ());
+  tag_shard t ~shard:home ~cross:false reply
+
+(* ------------------------------------------------------------------ *)
+(* Solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let combined_live_instance t =
+  let flows =
+    Array.to_list t.shards
+    |> List.concat_map (fun sh -> Session.live_flows (Shard.session sh))
+  in
+  (* Shard-major order (shard 0's flows first): deterministic given the
+     shard contents, which recovery reproduces exactly. *)
+  Tdmd.Instance.make ~graph:t.general.Tdmd.Instance.graph ~flows
+    ~lambda:t.general.Tdmd.Instance.lambda
+
+let solve t ~algo ~k ~seed ~target =
+  match (target, Array.length t.shards) with
+  | _, 1 | Protocol.Static, _ ->
+    (* Shard 0's session carries the same static instance (and tree
+       view) every shard does; with one shard this IS the pre-shard
+       path, bit for bit. *)
+    Session.solve (Shard.session t.shards.(0)) ~algo ~k ~seed ~target
+  | Protocol.Live, _ -> (
+    match combined_live_instance t with
+    | inst -> Session.solve_on_instance ~algo ~k ~seed ~target inst
+    | exception Invalid_argument msg -> Error ("internal", msg))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let single t = Shard.session t.shards.(0)
+
+let churn_stats t =
+  if Array.length t.shards = 1 then Session.churn_stats (single t)
+  else begin
+    let summaries =
+      Array.map (fun sh -> Session.churn_summary (Shard.session sh)) t.shards
+    in
+    let sum f = Array.fold_left (fun acc s -> acc + f s) 0 summaries in
+    let sumf f = Array.fold_left (fun acc s -> acc +. f s) 0.0 summaries in
+    let placement =
+      Array.fold_left
+        (fun acc s -> Tdmd.Placement.union acc s.Session.placement)
+        Tdmd.Placement.empty summaries
+    in
+    [
+      ("flows", Json.Int (sum (fun s -> s.Session.live_flows)));
+      ( "placement",
+        Json.List
+          (List.map (fun v -> Json.Int v) (Tdmd.Placement.to_list placement)) );
+      ("bandwidth", Json.Float (sumf (fun s -> s.Session.bandwidth)));
+      ( "feasible",
+        Json.Bool (Array.for_all (fun s -> s.Session.feasible) summaries) );
+      ("moves", Json.Int (sum (fun s -> s.Session.moves)));
+      ("arrivals", Json.Int (sum (fun s -> s.Session.arrivals)));
+      ("departures", Json.Int (sum (fun s -> s.Session.departures)));
+    ]
+  end
+
+let shard_stats_json t =
+  Array.to_list
+    (Array.map
+       (fun sh ->
+         let st = Shard.stats sh in
+         let summary = Session.churn_summary (Shard.session sh) in
+         let batch_avg =
+           if st.Shard.batches = 0 then 0.0
+           else float_of_int st.Shard.batched_ops /. float_of_int st.Shard.batches
+         in
+         Json.Obj
+           [
+             ("shard", Json.Int (Shard.id sh));
+             ("flows", Json.Int summary.Session.live_flows);
+             ("queue_depth", Json.Int st.Shard.queue_depth);
+             ("queue_peak", Json.Int st.Shard.queue_peak);
+             ("batches", Json.Int st.Shard.batches);
+             ("batched_ops", Json.Int st.Shard.batched_ops);
+             ("fsync_batch_avg", Json.Float batch_avg);
+             ("fsync_batch_max", Json.Int st.Shard.batch_max);
+           ])
+       t.shards)
+
+let coord_stats_json coord =
+  Locked.with_lock coord.lock (fun () ->
+      Json.Obj
+        [
+          ("prepares", Json.Int coord.prepares);
+          ("inflight", Json.Int coord.inflight);
+          ("replayed", Json.Int coord.replayed);
+          ("journal_bytes", Json.Int (Journal.size_bytes coord.journal));
+        ])
+
+let stats_fields t =
+  if Array.length t.shards = 1 then Session.durability_stats (single t)
+  else
+    ("shards", Json.List (shard_stats_json t))
+    ::
+    (match t.coord with
+    | Some coord -> [ ("coord", coord_stats_json coord) ]
+    | None -> [])
+
+let durability_telemetry t = Session.durability_telemetry (single t)
+
+let close t =
+  Array.iter Shard.close t.shards;
+  match t.coord with
+  | None -> ()
+  | Some coord ->
+    Locked.with_lock coord.lock (fun () ->
+        if coord.inflight = 0 then Journal.reset coord.journal;
+        Journal.close coord.journal)

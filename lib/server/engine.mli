@@ -1,0 +1,115 @@
+(** The sharded placement engine behind [tdmd serve].
+
+    An engine owns [N] {!Shard}s — each a full {!Session} (churn engine,
+    WAL segment stream, dedup table) over its own slice of the flow
+    population — plus a {!Router} assigning flows to shards by path
+    ownership over a {!Tdmd_topo.Partition} of the topology, and a
+    cross-shard coordinator used only for arrivals whose path spans
+    shards.
+
+    {2 Equivalence at one shard}
+
+    With [shards = 1] every request takes the exact pre-shard code path:
+    the single session lives directly in the durability root (the PR 4
+    on-disk layout), replies carry no routing fields, and placements,
+    stats and recovery are bit-identical to the monolithic [Session]
+    engine.
+
+    {2 Cross-shard commit (two-phase apply)}
+
+    An arrival spanning shards is made durable as a [Cross_prepare]
+    record in the coordinator journal {e before} its home shard (the
+    one owning most of its path) applies it through the shard's own
+    WAL; a [Cross_done] retires it once the shard has decided.  The op
+    carries its [xid] as idempotency id, so {!recover} can blindly
+    re-submit every prepare without a done — an op the shard already
+    applied answers ["dedup": true] instead of applying twice.
+
+    {2 Recovery}
+
+    Each shard recovers independently (its own snapshot ⊕ journal, via
+    {!Session.recover}); the flow→shard routing table is rebuilt from
+    the recovered sessions' live flows, the partition is recomputed
+    (it is a deterministic function of the recovered graph), and the
+    coordinator finally replays in-flight cross-shard ops.  A flat
+    (pre-shard) directory recovers as a 1-shard engine. *)
+
+type source =
+  | General of Tdmd.Instance.t
+  | Tree of Tdmd.Instance.Tree.t
+
+type t
+
+val create :
+  ?config:Session.Config.t ->
+  ?shards:int ->
+  ?partition:Tdmd_topo.Partition.t ->
+  source ->
+  t
+(** [create ~config ~shards source] builds [shards] sessions from
+    [config] ([Session.Config.default], 1 shard, and a degree-seeded
+    {!Tdmd_topo.Partition.make} of the instance graph by default).
+    When durable, [config]'s directory is the root: shard [i] lives in
+    [root/shard-<i>/] (or directly in [root] at 1 shard) and the
+    coordinator journal at [root/coord.wal].  [config.churn_k] is each
+    shard's budget — the sharded live deployment may place up to
+    [shards * churn_k] middleboxes in total.
+    @raise Invalid_argument on [shards < 1] or a partition that does
+    not match [shards]/the instance graph. *)
+
+val of_session : Session.t -> t
+(** Wrap an already-built session as a 1-shard engine (the pre-shard
+    entry point; every call takes the session's own code path). *)
+
+val recover :
+  ?dedup_cap:int -> Session.durability -> (t, string) result
+(** Rebuild an engine from a durability root: per-shard recovery, router
+    rebuild, coordinator replay (see above).  The shard count is
+    detected from the [shard-<i>] directories; a root with none is
+    recovered as a flat 1-shard engine. *)
+
+val shard_count : t -> int
+val shard : t -> int -> Shard.t
+val router : t -> Router.t
+val general : t -> Tdmd.Instance.t
+
+(** {1 Requests} *)
+
+val arrive :
+  t -> ?req:string -> id:int -> rate:int -> path:int list -> unit ->
+  Session.reply
+(** Route by path ownership and submit to the home shard's group-commit
+    queue (via the coordinator when the path spans shards).  Sharded
+    replies additionally carry ["shard"] and — for spanning paths —
+    ["cross": true]; 1-shard replies are unchanged. *)
+
+val depart : t -> ?req:string -> ?shard_hint:int -> int -> Session.reply
+(** Route to the flow's remembered home shard ([shard_hint], then shard
+    0, for unknown flows — whose reply is the pre-shard no-op). *)
+
+val solve :
+  t -> algo:string -> k:int -> seed:int -> target:Protocol.solve_target ->
+  Session.reply
+(** [Static] targets (and everything at 1 shard) dispatch through shard
+    0's session, bit-identically to the pre-shard engine.  A sharded
+    [Live] solve runs the general-registry solver over the union of all
+    shards' flows in shard-major order. *)
+
+(** {1 Stats and shutdown} *)
+
+val churn_stats : t -> (string * Protocol.Json.t) list
+(** Same keys as {!Session.churn_stats}.  Sharded: flows, moves,
+    arrivals, departures and bandwidth are summed; the placement is the
+    union; ["feasible"] is the conjunction. *)
+
+val stats_fields : t -> (string * Protocol.Json.t) list
+(** 1 shard: {!Session.durability_stats} verbatim.  Sharded: a
+    ["shards"] list (per shard: flows, queue depth/peak, group-commit
+    batch counters) plus a ["coord"] object when durable. *)
+
+val durability_telemetry : t -> Tdmd_obs.Telemetry.t
+(** Shard 0's session telemetry (the only shard at [--shards 1]; tests
+    read it while the engine is quiescent). *)
+
+val close : t -> unit
+(** Close every shard (final snapshots) and the coordinator journal. *)

@@ -8,12 +8,14 @@ module Crc32 = Tdmd_prelude.Crc32
 type op =
   | Arrive of { id : int; rate : int; path : int list; req : string option }
   | Depart of { flow_id : int; req : string option }
+  | Cross_prepare of { xid : string; home : int; op : op }
+  | Cross_done of { xid : string }
 
 let req_field = function
   | Some r -> [ ("req", Json.String r) ]
   | None -> []
 
-let op_to_json = function
+let rec op_to_json = function
   | Arrive { id; rate; path; req } ->
     Json.Obj
       ([
@@ -27,6 +29,16 @@ let op_to_json = function
     Json.Obj
       ([ ("op", Json.String "depart"); ("flow_id", Json.Int flow_id) ]
       @ req_field req)
+  | Cross_prepare { xid; home; op } ->
+    Json.Obj
+      [
+        ("op", Json.String "cross-prepare");
+        ("xid", Json.String xid);
+        ("home", Json.Int home);
+        ("inner", op_to_json op);
+      ]
+  | Cross_done { xid } ->
+    Json.Obj [ ("op", Json.String "cross-done"); ("xid", Json.String xid) ]
 
 let ( let* ) = Result.bind
 
@@ -41,7 +53,12 @@ let req_of json =
   | Some (Json.String r) -> Ok (Some r)
   | Some _ -> Error "journal record: field \"req\" must be a string"
 
-let op_of_json json =
+let string_field json name =
+  match Json.member name json with
+  | Some (Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "journal record: bad field %S" name)
+
+let rec op_of_json json =
   match Json.member "op" json with
   | Some (Json.String "arrive") ->
     let* id = int_field json "id" in
@@ -64,6 +81,21 @@ let op_of_json json =
     let* flow_id = int_field json "flow_id" in
     let* req = req_of json in
     Ok (Depart { flow_id; req })
+  | Some (Json.String "cross-prepare") ->
+    let* xid = string_field json "xid" in
+    let* home = int_field json "home" in
+    let* op =
+      match Json.member "inner" json with
+      | Some inner -> op_of_json inner
+      | None -> Error "journal record: missing field \"inner\""
+    in
+    (match op with
+    | Cross_prepare _ | Cross_done _ ->
+      Error "journal record: cross records do not nest"
+    | Arrive _ | Depart _ -> Ok (Cross_prepare { xid; home; op }))
+  | Some (Json.String "cross-done") ->
+    let* xid = string_field json "xid" in
+    Ok (Cross_done { xid })
   | Some (Json.String other) ->
     Error (Printf.sprintf "journal record: unknown op %S" other)
   | _ -> Error "journal record: missing field \"op\""
@@ -237,7 +269,7 @@ let maybe_fsync t =
   | Always -> do_fsync t
   | Every_n n -> if t.unsynced >= n then do_fsync t
 
-let append t op =
+let append ?(flush = true) t op =
   if t.poisoned then
     raise
       (Sys_error
@@ -270,18 +302,36 @@ let append t op =
   count t "wal_appends" 1;
   count t "wal_bytes" (Bytes.length record);
   Faults.hit t.faults "wal.append.post_write";
+  (* Group commit: a batch appends its first n-1 records with
+     [flush:false] and only the last one runs the fsync policy — one
+     fsync then covers the whole batch, because fsync flushes the file,
+     not the record. *)
+  if flush then begin
+    (try maybe_fsync t with
+    | Faults.Crash _ as e -> raise e
+    | e ->
+      (* The record is intact on disk but its durability is unknown, and
+         a failed fsync must not be retried as if nothing happened (the
+         kernel may have dropped the dirty pages).  Stop acking. *)
+      t.poisoned <- true;
+      count t "wal_append_failures" 1;
+      raise e);
+    Faults.hit t.faults "wal.append.post_fsync"
+  end
+
+let sync t = if t.unsynced > 0 then do_fsync t
+
+(* Batch-end counterpart of the [flush:true] tail of [append]: apply the
+   fsync policy to everything appended with [flush:false], with the same
+   poisoning discipline and the same crash-point. *)
+let flush t =
   (try maybe_fsync t with
   | Faults.Crash _ as e -> raise e
   | e ->
-    (* The record is intact on disk but its durability is unknown, and a
-       failed fsync must not be retried as if nothing happened (the
-       kernel may have dropped the dirty pages).  Stop acking. *)
     t.poisoned <- true;
     count t "wal_append_failures" 1;
     raise e);
   Faults.hit t.faults "wal.append.post_fsync"
-
-let sync t = if t.unsynced > 0 then do_fsync t
 
 let reset t =
   Unix.ftruncate t.fd 0;

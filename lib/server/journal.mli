@@ -27,6 +27,14 @@ type op =
   | Depart of { flow_id : int; req : string option }
       (** [req] is the client-supplied idempotency id, journaled so the
           dedup table survives a crash. *)
+  | Cross_prepare of { xid : string; home : int; op : op }
+      (** Coordinator journal only: a cross-shard op bound for shard
+          [home], recorded durably before the shard applies it.  [xid]
+          doubles as the op's idempotency id on the shard, so a replayed
+          prepare cannot double-apply.  Never nests. *)
+  | Cross_done of { xid : string }
+      (** Coordinator journal only: the prepare with this [xid] was
+          acked by its home shard; recovery skips it. *)
 
 val op_to_json : op -> Tdmd_obs.Json.t
 val op_of_json : Tdmd_obs.Json.t -> (op, string) result
@@ -72,8 +80,12 @@ val open_append :
     @raise Sys_error when the file cannot be opened or is locked by
     another process. *)
 
-val append : t -> op -> unit
-(** Write one record and apply the fsync policy.  Failure-atomic: when
+val append : ?flush:bool -> t -> op -> unit
+(** Write one record and apply the fsync policy.  [flush] defaults to
+    [true]; group commit passes [~flush:false] for all but a batch's
+    last record, so one fsync (which flushes the whole file) covers the
+    batch and the ["wal.append.post_fsync"] crash-point fires once per
+    batch rather than once per record.  Failure-atomic: when
     append raises (other than [Faults.Crash], which stands in for the
     process dying), the file is truncated back to its pre-call length
     and the offset restored, so a half-written record can never sit in
@@ -92,6 +104,11 @@ val poisoned : t -> bool
 
 val sync : t -> unit
 (** Unconditional fsync (used before a snapshot truncates the log). *)
+
+val flush : t -> unit
+(** End a group-committed batch: apply the fsync policy to the records
+    appended with [~flush:false] and fire ["wal.append.post_fsync"].
+    Poisons the journal if the fsync fails, exactly as {!append} would. *)
 
 val reset : t -> unit
 (** Compaction: drop every record (the state they rebuilt now lives in

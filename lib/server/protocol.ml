@@ -134,14 +134,24 @@ type request =
   | Stats
   | Shutdown
 
+(* The wire protocol is versioned so routing fields can be added
+   without breaking older peers.  [V1] is today's frames, unchanged on
+   the wire: the version marker ("v") and the shard-routing fields are
+   optional, and a V1 sender that omits them parses exactly as before. *)
+type version = V1
+
+let version_to_int = function V1 -> 1
+
 type envelope = {
+  version : version;
   id : Json.t option;
   deadline_ms : int option;
   req : string option;
+  shard_hint : int option;
   request : request;
 }
 
-let request_to_json ?id ?deadline_ms ?req request =
+let request_to_json ?id ?deadline_ms ?req ?shard_hint request =
   let base =
     match request with
     | Ping -> [ ("op", Json.String "ping") ]
@@ -173,6 +183,7 @@ let request_to_json ?id ?deadline_ms ?req request =
     (match id with Some v -> [ ("id", v) ] | None -> [])
     @ (match deadline_ms with Some d -> [ ("deadline_ms", Json.Int d) ] | None -> [])
     @ (match req with Some r -> [ ("req", Json.String r) ] | None -> [])
+    @ (match shard_hint with Some s -> [ ("shard_hint", Json.Int s) ] | None -> [])
   in
   Json.Obj (base @ envelope)
 
@@ -244,6 +255,13 @@ let parse_request json =
 let request_of_json json =
   match json with
   | Json.Obj _ ->
+    let* version =
+      match Json.member "v" json with
+      | None | Some (Json.Int 1) -> Ok V1
+      | Some (Json.Int v) ->
+        Error (Printf.sprintf "unsupported protocol version %d" v)
+      | Some _ -> Error "field \"v\" must be an integer"
+    in
     let* request = parse_request json in
     let* deadline_ms =
       match Json.member "deadline_ms" json with
@@ -257,7 +275,13 @@ let request_of_json json =
       | Some (Json.String r) when r <> "" -> Ok (Some r)
       | Some _ -> Error "field \"req\" must be a non-empty string"
     in
-    Ok { id = Json.member "id" json; deadline_ms; req; request }
+    let* shard_hint =
+      match Json.member "shard_hint" json with
+      | None -> Ok None
+      | Some (Json.Int s) when s >= 0 -> Ok (Some s)
+      | Some _ -> Error "field \"shard_hint\" must be a non-negative integer"
+    in
+    Ok { version; id = Json.member "id" json; deadline_ms; req; shard_hint; request }
   | _ -> Error "request must be a JSON object"
 
 (* ------------------------------------------------------------------ *)
@@ -272,6 +296,17 @@ let error ?id ~code msg =
   Json.Obj
     ((("ok", Json.Bool false) :: id_field id)
     @ [ ("code", Json.String code); ("error", Json.String msg) ])
+
+(* A shard-aware deployment can answer "not mine, ask that replica":
+   the client reconnects to ["redirect"] and resends once. *)
+let redirect ?id addr =
+  Json.Obj
+    ((("ok", Json.Bool false) :: id_field id)
+    @ [
+        ("code", Json.String "redirect");
+        ("error", Json.String "flow is owned by another replica");
+        ("redirect", Json.String (addr_to_string addr));
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* Instance codec                                                      *)

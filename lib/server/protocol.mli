@@ -86,18 +86,31 @@ type request =
   | Stats
   | Shutdown
 
+type version = V1  (** today's frames, byte-for-byte the pre-versioned wire *)
+
+val version_to_int : version -> int
+
 type envelope = {
+  version : version;
+      (** from the optional ["v"] field: absent or [1] parses as {!V1};
+          anything else is refused with ["unsupported protocol version"],
+          so future versions can change frames without silent misparses *)
   id : Json.t option;
   deadline_ms : int option;
   req : string option;
       (** idempotency id: the server deduplicates mutating ops
           ([arrive]/[depart]) carrying a ["req"] it has already applied,
           so a client may retry them safely (see {!Session}) *)
+  shard_hint : int option;
+      (** optional routing hint for sharded deployments: which shard the
+          client believes owns the flow (used by [depart], whose frame
+          carries no path); never required, invalid hints are ignored *)
   request : request;
 }
 
 val request_to_json :
-  ?id:Json.t -> ?deadline_ms:int -> ?req:string -> request -> Json.t
+  ?id:Json.t -> ?deadline_ms:int -> ?req:string -> ?shard_hint:int ->
+  request -> Json.t
 val request_of_json : Json.t -> (envelope, string) result
 
 (** {1:codes Responses} *)
@@ -112,7 +125,13 @@ val error : ?id:Json.t -> code:string -> string -> Json.t
     lists the registry), ["overloaded"] (bounded queue full — retry
     later), ["deadline"] (queueing budget expired before execution),
     ["shutting-down"] (server is draining), ["conflict"] (e.g.
-    duplicate flow id). *)
+    duplicate flow id), ["redirect"] (see {!redirect}). *)
+
+val redirect : ?id:Json.t -> addr -> Json.t
+(** [{"ok": false, "code": "redirect", "redirect": "<addr>", ...}] — a
+    shard-aware deployment answering "that flow is owned by the replica
+    at [addr]".  {!Client.rpc} reconnects there and resends exactly
+    once. *)
 
 (** {1 Instance codec}
 

@@ -1,0 +1,48 @@
+module Locked = Tdmd_prelude.Locked
+module Partition = Tdmd_topo.Partition
+
+type decision = Local of int | Cross of { home : int; spans : int list }
+
+type t = {
+  partition : Partition.t;
+  lock : Mutex.t;
+  (* flow id -> home shard, so a depart (which carries no path) finds
+     the shard its arrive landed on. *)
+  flows : (int, int) Hashtbl.t;
+}
+
+let create partition =
+  { partition; lock = Mutex.create (); flows = Hashtbl.create 64 }
+
+let partition t = t.partition
+let shards t = Partition.shards t.partition
+
+let route_arrive t ~path =
+  match Partition.ownership t.partition (Array.of_list path) with
+  | Partition.Owned s -> Local s
+  | Partition.Cross { home; spans } -> Cross { home; spans }
+
+let assign t ~flow_id ~shard =
+  Locked.with_lock t.lock (fun () -> Hashtbl.replace t.flows flow_id shard)
+
+let release t ~flow_id =
+  Locked.with_lock t.lock (fun () -> Hashtbl.remove t.flows flow_id)
+
+let lookup t ~flow_id =
+  Locked.with_lock t.lock (fun () -> Hashtbl.find_opt t.flows flow_id)
+
+let route_depart t ?hint ~flow_id () =
+  Locked.with_lock t.lock (fun () ->
+      match Hashtbl.find_opt t.flows flow_id with
+      | Some s -> s
+      | None -> (
+        (* Unknown flow: an out-of-range hint is ignored, and with no
+           usable hint the depart lands on shard 0, which answers it as
+           the same no-op the pre-shard engine did. *)
+        match hint with
+        | Some h when h >= 0 && h < shards t -> h
+        | Some _ | None -> 0))
+
+let assignments t =
+  Locked.with_lock t.lock (fun () ->
+      Hashtbl.fold (fun flow_id shard acc -> (flow_id, shard) :: acc) t.flows [])

@@ -27,7 +27,7 @@ type conn = {
 
 type t = {
   cfg : config;
-  session : Session.t;
+  engine : Engine.t;
   listen_fd : Unix.file_descr;
   pool : Tdmd_prelude.Parallel.Pool.t;
   tel : Tel.t;
@@ -95,9 +95,9 @@ let stats_fields t =
     ("latency_p50_ms", pct 0.50);
     ("latency_p95_ms", pct 0.95);
     ("latency_p99_ms", pct 0.99);
-    ("churn", Json.Obj (Session.churn_stats t.session));
+    ("churn", Json.Obj (Engine.churn_stats t.engine));
   ]
-  @ Session.durability_stats t.session
+  @ Engine.stats_fields t.engine
 
 let telemetry t = t.tel
 
@@ -114,24 +114,24 @@ let op_counter = function
   | Protocol.Stats -> "op_stats"
   | Protocol.Shutdown -> "op_shutdown"
 
-let execute t ?req (request : Protocol.request) : Session.reply =
+let execute t ?req ?shard_hint (request : Protocol.request) : Session.reply =
   match request with
   | Protocol.Ping -> Ok (Protocol.ok [ ("op", Json.String "ping") ])
   | Protocol.Sleep ms ->
     Unix.sleepf (float_of_int ms /. 1000.0);
     Ok (Protocol.ok [ ("op", Json.String "sleep"); ("ms", Json.Int ms) ])
   | Protocol.Solve { algo; k; seed; target } -> (
-    match Session.solve t.session ~algo ~k ~seed ~target with
+    match Engine.solve t.engine ~algo ~k ~seed ~target with
     | Ok (Json.Obj fields) -> Ok (Protocol.ok fields)
     | Ok other -> Ok (Protocol.ok [ ("result", other) ])
     | Error _ as e -> e)
   | Protocol.Arrive { id; rate; path } -> (
-    match Session.arrive t.session ?req ~id ~rate ~path () with
+    match Engine.arrive t.engine ?req ~id ~rate ~path () with
     | Ok (Json.Obj fields) -> Ok (Protocol.ok fields)
     | Ok other -> Ok (Protocol.ok [ ("result", other) ])
     | Error _ as e -> e)
   | Protocol.Depart id -> (
-    match Session.depart t.session ?req id with
+    match Engine.depart t.engine ?req ?shard_hint id with
     | Ok (Json.Obj fields) -> Ok (Protocol.ok fields)
     | Ok other -> Ok (Protocol.ok [ ("result", other) ])
     | Error _ as e -> e)
@@ -170,7 +170,10 @@ let run_job t conn (env : Protocol.envelope) ~enqueued_ns =
   end
   else begin
     let result =
-      try execute t ?req:env.Protocol.req env.Protocol.request with
+      try
+        execute t ?req:env.Protocol.req ?shard_hint:env.Protocol.shard_hint
+          env.Protocol.request
+      with
       | Faults.Crash point ->
         (* A planned crash must take the whole process down as abruptly
            as kill -9 would: no reply, no drain, no at_exit cleanup. *)
@@ -288,7 +291,7 @@ let acceptor t () =
   in
   loop ()
 
-let start cfg session =
+let start cfg engine =
   if cfg.domains < 1 then invalid_arg "Server.start: domains must be >= 1";
   (* A worker writing to a connection whose peer died must get EPIPE,
      not kill the process. *)
@@ -310,7 +313,7 @@ let start cfg session =
   let t =
     {
       cfg;
-      session;
+      engine;
       listen_fd;
       pool =
         Tdmd_prelude.Parallel.Pool.create ~domains:cfg.domains
@@ -332,6 +335,7 @@ let start cfg session =
   t.acceptor <- Some (Thread.create (acceptor t) ());
   t
 
+let start_session cfg session = start cfg (Engine.of_session session)
 let request_stop t = Atomic.set t.stop_flag true
 
 let emit_final_metrics t =

@@ -39,11 +39,17 @@ val default_config : Protocol.addr -> config
 
 type t
 
-val start : config -> Session.t -> t
+val start : config -> Engine.t -> t
 (** Bind, listen and return once the server is accepting (a client may
     connect immediately after [start] returns).  An existing socket
-    file at a [Unix_sock] path is replaced.
+    file at a [Unix_sock] path is replaced.  The engine may be a single
+    shard (the pre-shard behaviour, bit for bit) or sharded
+    ({!Engine.create} with [~shards]).
     @raise Unix.Unix_error when binding fails. *)
+
+val start_session : config -> Session.t -> t
+(** [start] on a 1-shard engine wrapping [session] — the pre-shard
+    entry point, kept for callers that build a bare {!Session}. *)
 
 val request_stop : t -> unit
 (** Flag the server to stop; async-signal-safe (a single atomic store),

@@ -21,6 +21,24 @@ let durability ?(fsync = Journal.Always) ?(snapshot_every = 0) ?(faults = Faults
 let snapshot_file cfg = Filename.concat cfg.dir "snapshot.json"
 let journal_file cfg epoch = Filename.concat cfg.dir (Printf.sprintf "journal-%d.wal" epoch)
 
+let default_dedup_cap = 8192
+
+(* ------------------------------------------------------------------ *)
+(* Construction config                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Config = struct
+  type nonrec t = {
+    churn_k : int;
+    dedup_cap : int;
+    durability : durability option;
+    dtel : Tdmd_obs.Telemetry.t option;
+  }
+
+  let default =
+    { churn_k = 8; dedup_cap = default_dedup_cap; durability = None; dtel = None }
+end
+
 type durable = {
   cfg : durability;
   mutable journal : Journal.t;
@@ -46,8 +64,6 @@ type t = {
   dtel : Tel.t;  (* journal + dedup + snapshot counters, under the lock *)
   durable : durable option;
 }
-
-let default_dedup_cap = 8192
 
 let dedup_remember ~tel ~cap table order r =
   if not (Hashtbl.mem table r) then begin
@@ -266,9 +282,8 @@ let write_snapshot t d =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let make ?durable ?(dtel = Tel.create ()) ?(dedup_cap = default_dedup_cap)
-    ~churn_k tree general =
-  if dedup_cap < 1 then invalid_arg "Session.make: dedup_cap must be >= 1";
+let make ?durable ~dtel ~dedup_cap ~churn_k tree general =
+  if dedup_cap < 1 then invalid_arg "Session: dedup_cap must be >= 1";
   let churn =
     Tdmd.Incremental.create ~graph:general.Tdmd.Instance.graph
       ~lambda:general.Tdmd.Instance.lambda ~k:churn_k
@@ -303,27 +318,37 @@ let init_durable ~dtel cfg =
   ignore ops;
   { cfg; journal; epoch = 0; since_snapshot = 0 }
 
-let of_general ?durability:dcfg ?dedup_cap ~churn_k inst =
-  match dcfg with
-  | None -> make ?dedup_cap ~churn_k None inst
+let build ~(config : Config.t) tree general =
+  let dtel =
+    match config.Config.dtel with Some t -> t | None -> Tel.create ()
+  in
+  let dedup_cap = config.Config.dedup_cap and churn_k = config.Config.churn_k in
+  match config.Config.durability with
+  | None -> make ~dtel ~dedup_cap ~churn_k tree general
   | Some cfg ->
-    let dtel = Tel.create () in
     let d = init_durable ~dtel cfg in
-    let t = make ~durable:d ~dtel ?dedup_cap ~churn_k None inst in
+    let t = make ~durable:d ~dtel ~dedup_cap ~churn_k tree general in
     (* Seed snapshot: from here on the directory is self-contained. *)
     locked t (fun () -> write_snapshot t d);
     t
 
-let of_tree ?durability:dcfg ?dedup_cap ~churn_k tree_inst =
-  let general = Tdmd.Instance.Tree.to_general tree_inst in
-  match dcfg with
-  | None -> make ?dedup_cap ~churn_k (Some tree_inst) general
-  | Some cfg ->
-    let dtel = Tel.create () in
-    let d = init_durable ~dtel cfg in
-    let t = make ~durable:d ~dtel ?dedup_cap ~churn_k (Some tree_inst) general in
-    locked t (fun () -> write_snapshot t d);
-    t
+let create ?(config = Config.default) inst = build ~config None inst
+
+let create_tree ?(config = Config.default) tree_inst =
+  build ~config (Some tree_inst) (Tdmd.Instance.Tree.to_general tree_inst)
+
+(* Pre-Config constructors, kept for one release as thin aliases. *)
+
+let config_of_sprawl ?durability ?(dedup_cap = default_dedup_cap) ~churn_k () =
+  { Config.churn_k; dedup_cap; durability; dtel = None }
+
+let of_general ?durability ?dedup_cap ~churn_k inst =
+  create ~config:(config_of_sprawl ?durability ?dedup_cap ~churn_k ()) inst
+
+let of_tree ?durability ?dedup_cap ~churn_k tree_inst =
+  create_tree
+    ~config:(config_of_sprawl ?durability ?dedup_cap ~churn_k ())
+    tree_inst
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
@@ -339,9 +364,14 @@ let apply_op churn = function
   | Journal.Arrive { id; rate; path; req = _ } ->
     Tdmd.Incremental.arrive churn (Tdmd_flow.Flow.make ~id ~rate ~path)
   | Journal.Depart { flow_id; req = _ } -> Tdmd.Incremental.depart churn flow_id
+  | Journal.Cross_prepare _ | Journal.Cross_done _ ->
+    (* Coordinator records never land in a shard journal; treat one as
+       the corruption it is rather than silently skipping it. *)
+    invalid_arg "cross-shard record in a shard journal"
 
 let op_req = function
   | Journal.Arrive { req; _ } | Journal.Depart { req; _ } -> req
+  | Journal.Cross_prepare { xid; _ } | Journal.Cross_done { xid } -> Some xid
 
 let segment_epoch name =
   let pre = "journal-" and suf = ".wal" in
@@ -456,6 +486,18 @@ let outcome_fields ~algo ~k ~seed ~target
     ("telemetry", Tdmd_obs.Telemetry.to_json telemetry);
   ]
 
+(* General-registry dispatch against an explicit instance: the sharded
+   engine solves Live over the union of all shards' flows with this. *)
+let solve_on_instance ~algo ~k ~seed ~target inst =
+  match Tdmd.Solvers.find_general algo with
+  | None -> Error ("unknown-algo", Tdmd.Solvers.describe_unknown algo)
+  | Some f -> (
+    let rng = Tdmd_prelude.Rng.create seed in
+    match f ~rng ~k inst with
+    | outcome -> Ok (Json.Obj (outcome_fields ~algo ~k ~seed ~target outcome))
+    | exception Invalid_argument msg -> Error ("bad-request", msg)
+    | exception Failure msg -> Error ("bad-request", msg))
+
 let solve t ~algo ~k ~seed ~target =
   let rng = Tdmd_prelude.Rng.create seed in
   let run =
@@ -493,7 +535,7 @@ let solve t ~algo ~k ~seed ~target =
 let churn_fields_unlocked t =
   let placement = Tdmd.Incremental.placement t.churn in
   [
-    ("flows", Json.Int (List.length (Tdmd.Incremental.flows t.churn)));
+    ("flows", Json.Int (Tdmd.Incremental.flow_count t.churn));
     ( "placement",
       Json.List
         (List.map (fun v -> Json.Int v) (Tdmd.Placement.to_list placement)) );
@@ -512,6 +554,32 @@ let churn_fields_unlocked t =
 
 let churn_stats t = locked t (fun () -> churn_fields_unlocked t)
 
+let live_instance t = locked t (fun () -> Tdmd.Incremental.instance t.churn)
+let live_flows t = locked t (fun () -> Tdmd.Incremental.flows t.churn)
+
+type churn_summary = {
+  live_flows : int;
+  placement : Tdmd.Placement.t;
+  bandwidth : float;
+  feasible : bool;
+  moves : int;
+  arrivals : int;
+  departures : int;
+}
+
+let churn_summary t =
+  locked t (fun () ->
+      let ctel = Tdmd.Incremental.telemetry t.churn in
+      {
+        live_flows = Tdmd.Incremental.flow_count t.churn;
+        placement = Tdmd.Incremental.placement t.churn;
+        bandwidth = Tdmd.Incremental.bandwidth t.churn;
+        feasible = Tdmd.Incremental.feasible t.churn;
+        moves = Tdmd.Incremental.moves t.churn;
+        arrivals = Tel.get_count ctel "arrivals";
+        departures = Tel.get_count ctel "departures";
+      })
+
 (* Dedup check, WAL append, apply, snapshot — all under the session
    lock.  The journal record precedes the state change (write-ahead):
    if we die between the two, replay applies the op and its [req] lands
@@ -527,63 +595,112 @@ let dedup_reply t ~op_name =
        :: ("dedup", Json.Bool true)
        :: churn_fields_unlocked t))
 
-let journaled t ~req ~op_name ~(op : unit -> Journal.op) ~(apply : unit -> unit) =
-  match req with
-  | Some r when Hashtbl.mem t.dedup r -> dedup_reply t ~op_name
-  | _ -> (
-    let appended =
-      match t.durable with
-      | Some d -> (
-        match Journal.append d.journal (op ()) with
-        | () -> Ok ()
-        (* Oversized record: refused before anything reached the disk
-           or the engine — a definitive answer, not worth a retry. *)
-        | exception Invalid_argument msg -> Error ("bad-request", msg))
-      | None -> Ok ()
-    in
-    match appended with
-    | Error _ as e -> e
-    | Ok () ->
-      apply ();
-      (match req with Some r -> remember t r | None -> ());
-      (match t.durable with
-      | Some d ->
-        d.since_snapshot <- d.since_snapshot + 1;
-        if d.cfg.snapshot_every > 0 && d.since_snapshot >= d.cfg.snapshot_every
-        then write_snapshot t d
-      | None -> ());
-      Ok (Json.Obj (("op", Json.String op_name) :: churn_fields_unlocked t)))
+type batch_op =
+  | Batch_arrive of { req : string option; id : int; rate : int; path : int list }
+  | Batch_depart of { req : string option; flow_id : int }
 
-let arrive t ?req ~id ~rate ~path () =
-  match Tdmd_flow.Flow.make ~id ~rate ~path with
-  | exception Invalid_argument msg -> Error ("bad-request", msg)
-  | flow ->
-    locked t (fun () ->
-        (* Dedup before the duplicate-id check: a retry of an applied
-           arrive would otherwise be answered "conflict" — with its own
-           flow. *)
-        match req with
-        | Some r when Hashtbl.mem t.dedup r -> dedup_reply t ~op_name:"arrive"
-        | _ ->
-        if
-          List.exists
-            (fun (f : Tdmd_flow.Flow.t) -> f.Tdmd_flow.Flow.id = id)
-            (Tdmd.Incremental.flows t.churn)
-        then Error ("conflict", Printf.sprintf "flow %d is already active" id)
+(* One op under the (held) session lock.  Group commit: the journal
+   record is appended with [~flush:false]; the caller fires one
+   policy-respecting {!Journal.flush} per batch, so a batch of b ops
+   costs one fsync instead of b.  Returns whether a record was appended
+   alongside the reply, so a failed batch-end flush can downgrade
+   exactly the replies whose durability it lost. *)
+let journaled_unlocked t ~req ~op_name ~(op : unit -> Journal.op)
+    ~(apply : unit -> unit) =
+  let appended =
+    match t.durable with
+    | Some d -> (
+      match Journal.append ~flush:false d.journal (op ()) with
+      | () -> Ok true
+      (* Oversized record: refused before anything reached the disk
+         or the engine — a definitive answer, not worth a retry. *)
+      | exception Invalid_argument msg -> Error ("bad-request", msg)
+      (* Poisoned or failed append: the append invariant was restored
+         (or the journal poisoned), nothing was applied.  Answer this
+         op; the rest of the batch still gets its chance. *)
+      | exception Sys_error msg -> Error ("internal", msg)
+      | exception Unix.Unix_error (err, fn, _) ->
+        Error ("internal", Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+    | None -> Ok false
+  in
+  match appended with
+  | Error e -> (false, Error e)
+  | Ok journaled ->
+    apply ();
+    (match req with Some r -> remember t r | None -> ());
+    (match t.durable with
+    | Some d ->
+      d.since_snapshot <- d.since_snapshot + 1;
+      if d.cfg.snapshot_every > 0 && d.since_snapshot >= d.cfg.snapshot_every
+      then write_snapshot t d
+    | None -> ());
+    (journaled, Ok (Json.Obj (("op", Json.String op_name) :: churn_fields_unlocked t)))
+
+let apply_one_unlocked t bop =
+  match bop with
+  | Batch_arrive { req; id; rate; path } -> (
+    match Tdmd_flow.Flow.make ~id ~rate ~path with
+    | exception Invalid_argument msg -> (false, Error ("bad-request", msg))
+    | flow -> (
+      (* Dedup before the duplicate-id check: a retry of an applied
+         arrive would otherwise be answered "conflict" — with its own
+         flow. *)
+      match req with
+      | Some r when Hashtbl.mem t.dedup r ->
+        (false, dedup_reply t ~op_name:"arrive")
+      | _ ->
+        if Tdmd.Incremental.mem_flow t.churn id then
+          (false, Error ("conflict", Printf.sprintf "flow %d is already active" id))
         else begin
           match Tdmd_flow.Flow.validate t.general.Tdmd.Instance.graph flow with
-          | Error msg -> Error ("bad-request", msg)
+          | Error msg -> (false, Error ("bad-request", msg))
           | Ok () ->
-            journaled t ~req ~op_name:"arrive"
+            journaled_unlocked t ~req ~op_name:"arrive"
               ~op:(fun () -> Journal.Arrive { id; rate; path; req })
               ~apply:(fun () -> Tdmd.Incremental.arrive t.churn flow)
-        end)
+        end))
+  | Batch_depart { req; flow_id } -> (
+    match req with
+    | Some r when Hashtbl.mem t.dedup r -> (false, dedup_reply t ~op_name:"depart")
+    | _ ->
+      journaled_unlocked t ~req ~op_name:"depart"
+        ~op:(fun () -> Journal.Depart { flow_id; req })
+        ~apply:(fun () -> Tdmd.Incremental.depart t.churn flow_id))
+
+let apply_batch t ops =
+  match ops with
+  | [] -> []
+  | ops ->
+    locked t (fun () ->
+        let out = List.map (fun bop -> apply_one_unlocked t bop) ops in
+        let flush_result =
+          match t.durable with
+          | Some d when List.exists fst out -> (
+            match Journal.flush d.journal with
+            | () -> Ok ()
+            | exception Sys_error msg -> Error ("internal", msg)
+            | exception Unix.Unix_error (err, fn, _) ->
+              Error
+                ("internal", Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+          | _ -> Ok ()
+        in
+        match flush_result with
+        | Ok () -> List.map snd out
+        | Error e ->
+          (* The fsync failed: every record this batch appended is on
+             disk but of unknown durability (the journal is now
+             poisoned).  Never ack what we cannot promise. *)
+          List.map (fun (journaled, reply) -> if journaled then Error e else reply) out)
+
+let arrive t ?req ~id ~rate ~path () =
+  match apply_batch t [ Batch_arrive { req; id; rate; path } ] with
+  | [ reply ] -> reply
+  | _ -> assert false
 
 let depart t ?req id =
-  locked t (fun () ->
-      journaled t ~req ~op_name:"depart"
-        ~op:(fun () -> Journal.Depart { flow_id = id; req })
-        ~apply:(fun () -> Tdmd.Incremental.depart t.churn id))
+  match apply_batch t [ Batch_depart { req; flow_id = id } ] with
+  | [ reply ] -> reply
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Durability stats and shutdown                                       *)

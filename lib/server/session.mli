@@ -61,23 +61,50 @@ val default_dedup_cap : int
     mutating ops — and memory/snapshot size stay O(cap) under unbounded
     churn. *)
 
-val of_general :
-  ?durability:durability -> ?dedup_cap:int -> churn_k:int -> Tdmd.Instance.t -> t
+(** Everything a session's behaviour depends on, in one record — shards
+    and tests build sessions uniformly from a [Config.t] instead of
+    threading four optional arguments. *)
+module Config : sig
+  type t = {
+    churn_k : int;  (** middlebox budget of the churn engine *)
+    dedup_cap : int;  (** >= 1; see {!default_dedup_cap} *)
+    durability : durability option;  (** [None] = in-memory only *)
+    dtel : Tdmd_obs.Telemetry.t option;
+        (** share a telemetry sink (e.g. one per shard directory);
+            [None] = the session creates its own *)
+  }
+
+  val default : t
+  (** [churn_k = 8], [dedup_cap = default_dedup_cap], not durable. *)
+end
+
+val create : ?config:Config.t -> Tdmd.Instance.t -> t
 (** Serve a general instance: tree-only solvers are refused with a
-    registry listing.  With [?durability] the directory is initialised
-    (journal opened + locked, seed snapshot written) so it is
-    self-contained from the first op.  [?dedup_cap] bounds the dedup
-    table ({!default_dedup_cap}; must be >= 1).
+    registry listing.  With [config.durability] the directory is
+    initialised (journal opened + locked, seed snapshot written) so it
+    is self-contained from the first op.
+    @raise Invalid_argument if [config.dedup_cap < 1].
     @raise Sys_error if the directory already holds a snapshot (use
     {!recover}) or the journal is locked by another process. *)
 
-val of_tree :
-  ?durability:durability -> ?dedup_cap:int -> churn_k:int ->
-  Tdmd.Instance.Tree.t -> t
+val create_tree : ?config:Config.t -> Tdmd.Instance.Tree.t -> t
 (** Serve a tree instance: every registry name resolves (general
     solvers see the {!Tdmd.Instance.Tree.to_general} view).  Note the
     snapshot codec stores the general view only, so {!recover} of a
     tree session serves it as a general session. *)
+
+val of_general :
+  ?durability:durability -> ?dedup_cap:int -> churn_k:int -> Tdmd.Instance.t -> t
+  [@@ocaml.deprecated "use Session.create with a Session.Config.t"]
+(** Pre-{!Config} constructor, kept for one release: exactly
+    [create ~config:{...}]. *)
+
+val of_tree :
+  ?durability:durability -> ?dedup_cap:int -> churn_k:int ->
+  Tdmd.Instance.Tree.t -> t
+  [@@ocaml.deprecated "use Session.create_tree with a Session.Config.t"]
+(** Pre-{!Config} constructor, kept for one release: exactly
+    [create_tree ~config:{...}]. *)
 
 val recover : ?dedup_cap:int -> durability -> (t, string) result
 (** Rebuild a session from [cfg.dir]: parse the snapshot, restore the
@@ -98,6 +125,17 @@ type reply = (Protocol.Json.t, string * string) result
 (** [Ok response_obj] or [Error (code, message)] in the sense of
     {!Protocol.error}. *)
 
+val solve_on_instance :
+  algo:string ->
+  k:int ->
+  seed:int ->
+  target:Protocol.solve_target ->
+  Tdmd.Instance.t ->
+  reply
+(** General-registry dispatch against an explicit instance, with the
+    same seeding and response fields as {!solve}.  The sharded engine
+    uses this to solve [Live] over the union of all shards' flows. *)
+
 val solve :
   t -> algo:string -> k:int -> seed:int -> target:Protocol.solve_target -> reply
 (** Dispatch by registry name with [Rng.create seed] — the answer is
@@ -116,6 +154,47 @@ val arrive : t -> ?req:string -> id:int -> rate:int -> path:int list -> unit -> 
 val depart : t -> ?req:string -> int -> reply
 (** Feed one departure (unknown ids are a no-op, as in
     {!Tdmd.Incremental.depart}).  [?req] as in {!arrive}. *)
+
+(** {1 Batched churn (group commit)} *)
+
+type batch_op =
+  | Batch_arrive of { req : string option; id : int; rate : int; path : int list }
+  | Batch_depart of { req : string option; flow_id : int }
+
+val apply_batch : t -> batch_op list -> reply list
+(** Apply a batch of churn ops under {e one} lock acquisition and — when
+    durable — {e one} fsync (each record is appended with
+    [Journal.append ~flush:false]; a single {!Journal.flush} at batch
+    end makes the whole batch durable before any reply is returned, so
+    the acked-implies-durable invariant is batch-granular, never
+    weakened).  Replies come back in op order; a per-op failure
+    (bad-request, conflict, dedup hit, journal I/O error) answers that
+    op and the rest of the batch proceeds.  If the batch-end fsync
+    fails, every reply whose record's durability is now unknown is
+    downgraded to [Error ("internal", _)] and the journal is poisoned.
+    [arrive]/[depart] are one-element batches of this, so single-op and
+    batched paths compute bit-identical states. *)
+
+(** {1 Live-state accessors (for the sharded engine)} *)
+
+val live_instance : t -> Tdmd.Instance.t
+(** Snapshot of the churn engine's current instance, under the lock. *)
+
+val live_flows : t -> Tdmd_flow.Flow.t list
+(** The churn engine's active flows, under the lock. *)
+
+type churn_summary = {
+  live_flows : int;
+  placement : Tdmd.Placement.t;
+  bandwidth : float;
+  feasible : bool;
+  moves : int;
+  arrivals : int;
+  departures : int;
+}
+
+val churn_summary : t -> churn_summary
+(** Typed counterpart of {!churn_stats}, for cross-shard aggregation. *)
 
 val churn_stats : t -> (string * Protocol.Json.t) list
 (** ["flows"], ["placement"], ["bandwidth"], ["feasible"], ["moves"],

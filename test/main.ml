@@ -22,6 +22,7 @@ let () =
       ("sim", Test_sim.suite);
       ("server", Test_server.suite);
       ("journal", Test_journal.suite);
+      ("engine", Test_engine.suite);
       ("experiments", Test_experiments.suite);
       ("lint", Test_lint.suite);
     ]

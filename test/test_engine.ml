@@ -1,0 +1,702 @@
+(* The sharded engine: 1-shard answers bit-identical to the monolithic
+   session, path-ownership routing with cross-shard two-phase apply,
+   group commit under concurrency, per-shard crash recovery including
+   coordinator replay, the versioned protocol envelope, and client-side
+   redirect following. *)
+
+open Tdmd_prelude
+module Json = Tdmd_obs.Json
+module P = Tdmd_server.Protocol
+module Session = Tdmd_server.Session
+module Engine = Tdmd_server.Engine
+module Shard = Tdmd_server.Shard
+module Journal = Tdmd_server.Journal
+module Faults = Tdmd_server.Faults
+module Server = Tdmd_server.Server
+module Client = Tdmd_server.Client
+module Pt = Tdmd_topo.Partition
+module Sc = Tdmd_sim.Scenario
+
+(* The deprecated constructors stay callable for one release; this is
+   the one place allowed to touch them (their equivalence test). *)
+module Deprecated = struct
+  [@@@alert "-deprecated"]
+
+  let of_general = Session.of_general
+  let of_tree = Session.of_tree
+end
+
+let mk_config ?durability ?(churn_k = 2) () =
+  {
+    Session.Config.churn_k;
+    Session.Config.dedup_cap = Session.default_dedup_cap;
+    Session.Config.durability;
+    Session.Config.dtel = None;
+  }
+
+(* A line 0-1-...-(n-1) with one static flow, the shape every journal
+   test in this repo uses: arrivals along contiguous runs are valid. *)
+let line_instance n =
+  let g = Tdmd_graph.Digraph.create n in
+  for v = 0 to n - 2 do
+    Tdmd_graph.Digraph.add_undirected g v (v + 1)
+  done;
+  Tdmd.Instance.make ~graph:g
+    ~flows:[ Tdmd_flow.Flow.make ~id:0 ~rate:1 ~path:[ 0; 1; 2 ] ]
+    ~lambda:0.5
+
+let temp_dir () =
+  let path = Filename.temp_file "tdmd-engine" "" in
+  Sys.remove path;
+  path
+
+let rec rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let expect_applied ctx = function
+  | Ok json -> json
+  | Error (code, msg) -> Alcotest.failf "%s: %s %s" ctx code msg
+
+let int_field ctx name json =
+  match Json.member name json with
+  | Some (Json.Int v) -> v
+  | _ -> Alcotest.failf "%s: missing int field %S in %s" ctx name
+           (Json.to_string json)
+
+let strip_timing = function
+  | Ok (Json.Obj fields) ->
+    Ok (Json.Obj (List.filter (fun (k, _) -> k <> "telemetry") fields))
+  | r -> r
+
+let reply_to_string = function
+  | Ok json -> Json.to_string json
+  | Error (code, msg) -> Printf.sprintf "error %s: %s" code msg
+
+(* Externally observable engine state: churn stats plus a seeded live
+   solve, minus wall-clock timing. *)
+let engine_fingerprint engine =
+  Json.to_string (Json.Obj (Engine.churn_stats engine))
+  ^ "|"
+  ^ reply_to_string
+      (strip_timing
+         (Engine.solve engine ~algo:"gtp" ~k:2 ~seed:5 ~target:P.Live))
+
+(* ------------------------------------------------------------------ *)
+(* Session.Config and the deprecated constructor aliases               *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_aliases () =
+  let d = Session.Config.default in
+  Alcotest.(check int) "default churn_k" 8 d.Session.Config.churn_k;
+  Alcotest.(check int) "default dedup_cap" Session.default_dedup_cap
+    d.Session.Config.dedup_cap;
+  Alcotest.(check bool) "default not durable" true
+    (d.Session.Config.durability = None);
+  (* Old and new constructors must build behaviourally identical
+     sessions. *)
+  let drive session =
+    ignore
+      (expect_applied "arrive"
+         (Session.arrive session ~req:"a1" ~id:7 ~rate:2 ~path:[ 0; 1; 2 ] ()));
+    ignore (expect_applied "depart" (Session.depart session ~req:"d1" 7));
+    Json.to_string (Json.Obj (Session.churn_stats session))
+  in
+  let via_alias = drive (Deprecated.of_general ~churn_k:2 (line_instance 6)) in
+  let via_config =
+    drive (Session.create ~config:(mk_config ()) (line_instance 6))
+  in
+  Alcotest.(check string) "of_general = create+Config" via_config via_alias;
+  let tree_inst = Sc.build_tree (Rng.create 11) Sc.default_tree in
+  let solve s =
+    reply_to_string
+      (strip_timing (Session.solve s ~algo:"gtp" ~k:3 ~seed:9 ~target:P.Static))
+  in
+  Alcotest.(check string) "of_tree = create_tree+Config"
+    (solve (Session.create_tree ~config:(mk_config ~churn_k:3 ()) tree_inst))
+    (solve (Deprecated.of_tree ~churn_k:3 tree_inst))
+
+(* ------------------------------------------------------------------ *)
+(* 1 shard: bit-identical to the pre-shard session                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_one_shard_bit_identical () =
+  let tree_inst = Sc.build_tree (Rng.create 4242) Sc.default_tree in
+  let k = Sc.default_tree.Sc.k in
+  let session = Session.create_tree ~config:(mk_config ~churn_k:k ()) tree_inst in
+  let engine = Engine.create ~config:(mk_config ~churn_k:k ()) (Engine.Tree tree_inst) in
+  Alcotest.(check int) "one shard" 1 (Engine.shard_count engine);
+  (* Whole registry, static target: the engine answer must be the
+     session answer, byte for byte. *)
+  List.iter
+    (fun algo ->
+      Alcotest.(check string)
+        (Printf.sprintf "solve %s" algo)
+        (reply_to_string
+           (strip_timing (Session.solve session ~algo ~k ~seed:3 ~target:P.Static)))
+        (reply_to_string
+           (strip_timing (Engine.solve engine ~algo ~k ~seed:3 ~target:P.Static))))
+    [ "gtp"; "celf"; "dp"; "hat"; "random"; "best-effort"; "scaled-dp"; "gtp-ls" ];
+  Engine.close engine;
+  (* Churn replies must match too — in particular no ["shard"] routing
+     field may appear at one shard. *)
+  let churn_session = Session.create ~config:(mk_config ()) (line_instance 12) in
+  let churn_engine =
+    Engine.create ~config:(mk_config ()) (Engine.General (line_instance 12))
+  in
+  let path = [ 4; 5; 6 ] in
+  let via_session =
+    reply_to_string
+      (Session.arrive churn_session ~req:"r1" ~id:42 ~rate:2 ~path ())
+  in
+  let engine_reply =
+    Engine.arrive churn_engine ~req:"r1" ~id:42 ~rate:2 ~path ()
+  in
+  Alcotest.(check string) "arrive replies identical" via_session
+    (reply_to_string engine_reply);
+  (match engine_reply with
+  | Ok json ->
+    Alcotest.(check bool) "no routing fields at one shard" true
+      (Json.member "shard" json = None && Json.member "cross" json = None)
+  | Error (code, msg) -> Alcotest.failf "one-shard arrive refused: %s %s" code msg);
+  Alcotest.(check string) "depart replies identical"
+    (reply_to_string (Session.depart churn_session ~req:"r2" 42))
+    (reply_to_string (Engine.depart churn_engine ~req:"r2" 42));
+  Alcotest.(check string) "churn stats identical"
+    (Json.to_string (Json.Obj (Session.churn_stats churn_session)))
+    (Json.to_string (Json.Obj (Engine.churn_stats churn_engine)));
+  Engine.close churn_engine
+
+(* ------------------------------------------------------------------ *)
+(* Sharded routing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* 24-vertex line, 4 shards seeded at region midpoints: shard [i] owns
+   the contiguous block [6i .. 6i+5]. *)
+let sharded_engine () =
+  let inst = line_instance 24 in
+  let partition =
+    Pt.make ~seeds:[ 3; 9; 15; 21 ] inst.Tdmd.Instance.graph ~shards:4
+  in
+  (Engine.create ~config:(mk_config ()) ~shards:4 ~partition (Engine.General inst),
+   partition)
+
+let test_sharded_routing () =
+  let engine, partition = sharded_engine () in
+  (* BFS fronts from the midpoint seeds meet between blocks; the
+     equidistant boundary vertex ties to the lower shard id. *)
+  let expected_owner v =
+    if v <= 6 then 0 else if v <= 12 then 1 else if v <= 18 then 2 else 3
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "vertex %d owner" v)
+        (expected_owner v) (Pt.owner partition v))
+    (List.init 24 Fun.id);
+  (* Local arrive: routed to its region's shard, tagged with it. *)
+  let local =
+    expect_applied "local arrive"
+      (Engine.arrive engine ~req:"l1" ~id:1 ~rate:2 ~path:[ 7; 8; 9 ] ())
+  in
+  Alcotest.(check int) "routed to shard 1" 1 (int_field "local" "shard" local);
+  Alcotest.(check bool) "local is not cross" true
+    (Json.member "cross" local = None);
+  (* Cross arrive: three of [4;5;6;7] live in shard 0, one in shard 1 —
+     home is the majority owner, and the reply says so. *)
+  let cross =
+    expect_applied "cross arrive"
+      (Engine.arrive engine ~req:"c1" ~id:2 ~rate:1 ~path:[ 4; 5; 6; 7 ] ())
+  in
+  Alcotest.(check int) "cross home" 0 (int_field "cross" "shard" cross);
+  Alcotest.(check bool) "tagged cross" true
+    (Json.member "cross" cross = Some (Json.Bool true));
+  (* A duplicate id resident on another shard is refused without
+     touching any session. *)
+  (match Engine.arrive engine ~req:"dup" ~id:1 ~rate:1 ~path:[ 20; 21 ] () with
+  | Error ("conflict", _) -> ()
+  | r -> Alcotest.failf "cross-shard duplicate: expected conflict, got %s"
+           (reply_to_string r));
+  (* A retried arrive with the same req dedups at its home shard. *)
+  let retry =
+    expect_applied "retry"
+      (Engine.arrive engine ~req:"l1" ~id:1 ~rate:2 ~path:[ 7; 8; 9 ] ())
+  in
+  Alcotest.(check bool) "retry dedups" true
+    (Json.member "dedup" retry = Some (Json.Bool true));
+  (* Invalid path: refused as bad-request by the router. *)
+  (match Engine.arrive engine ~req:"bad" ~id:3 ~rate:1 ~path:[ 7; 99 ] () with
+  | Error ("bad-request", _) -> ()
+  | r -> Alcotest.failf "bad path: expected bad-request, got %s"
+           (reply_to_string r));
+  (match List.assoc "flows" (Engine.churn_stats engine) with
+  | Json.Int v -> Alcotest.(check int) "two flows live" 2 v
+  | _ -> Alcotest.fail "missing flows in churn stats");
+  (* Departs route by the remembered assignment — no hint needed. *)
+  let dep = expect_applied "depart" (Engine.depart engine ~req:"d1" 2) in
+  Alcotest.(check int) "depart routed home" 0 (int_field "depart" "shard" dep);
+  (* Unknown flows fall back to shard 0's no-op reply. *)
+  ignore (expect_applied "unknown depart" (Engine.depart engine ~req:"d2" 999));
+  (* Live solve runs over the union of the shards' flows. *)
+  ignore
+    (expect_applied "live solve"
+       (Engine.solve engine ~algo:"gtp" ~k:2 ~seed:1 ~target:P.Live));
+  (* Sharded stats carry the per-shard section. *)
+  (match List.assoc_opt "shards" (Engine.stats_fields engine) with
+  | Some (Json.List l) ->
+    Alcotest.(check int) "one stats entry per shard" 4 (List.length l)
+  | _ -> Alcotest.fail "sharded stats must carry a \"shards\" list");
+  Engine.close engine
+
+(* ------------------------------------------------------------------ *)
+(* Group commit under concurrency, durable, with recovery              *)
+(* ------------------------------------------------------------------ *)
+
+let test_group_commit_concurrent () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let inst = line_instance 12 in
+  let partition = Pt.make ~seeds:[ 2; 8 ] inst.Tdmd.Instance.graph ~shards:2 in
+  let cfg = Session.durability ~fsync:Journal.Always dir in
+  let engine =
+    Engine.create ~config:(mk_config ~durability:cfg ()) ~shards:2 ~partition
+      (Engine.General inst)
+  in
+  let threads = 6 and per_thread = 15 in
+  let failures = ref [] in
+  let failures_lock = Mutex.create () in
+  let worker t () =
+    let base = t * 6 in (* region of shard (t mod 2): a short run *)
+    let lo = if t mod 2 = 0 then 0 else 6 in
+    for r = 0 to per_thread - 1 do
+      let id = ((t + 1) * 1000) + r in
+      let path = [ lo + (r mod 4); lo + (r mod 4) + 1 ] in
+      let reply =
+        if r mod 3 = 2 then Engine.depart engine ~req:(Printf.sprintf "d%d" id) (id - 1)
+        else
+          Engine.arrive engine ~req:(Printf.sprintf "a%d" id) ~id ~rate:1 ~path ()
+      in
+      match reply with
+      | Ok _ -> ()
+      | Error (code, msg) ->
+        Locked.with_lock failures_lock (fun () ->
+            failures :=
+              Printf.sprintf "thread %d op %d (base %d): %s %s" t r base code msg
+              :: !failures)
+    done
+  in
+  let ts = List.init threads (fun t -> Thread.create (worker t) ()) in
+  List.iter Thread.join ts;
+  (match !failures with
+  | [] -> ()
+  | msgs -> Alcotest.fail (String.concat "\n" msgs));
+  (* Group commit accounting must be coherent on every shard. *)
+  Array.iter
+    (fun i ->
+      let st = Shard.stats (Engine.shard engine i) in
+      Alcotest.(check bool) "ops were batched" true (st.Shard.batches > 0);
+      Alcotest.(check bool) "batch sizes coherent" true
+        (st.Shard.batched_ops >= st.Shard.batches
+        && st.Shard.batch_max >= 1
+        && st.Shard.queue_depth = 0))
+    [| 0; 1 |];
+  let before = engine_fingerprint engine in
+  Engine.close engine;
+  (* A clean close snapshots every shard; recovery must reproduce the
+     state bit for bit. *)
+  match Engine.recover cfg with
+  | Error msg -> Alcotest.failf "recover after close: %s" msg
+  | Ok recovered ->
+    Alcotest.(check int) "two shards detected" 2 (Engine.shard_count recovered);
+    Alcotest.(check string) "recovered state identical" before
+      (engine_fingerprint recovered);
+    Engine.close recovered
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard two-phase apply: exactly once, replayed on recovery     *)
+(* ------------------------------------------------------------------ *)
+
+let test_cross_shard_replay () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let inst = line_instance 12 in
+  let partition = Pt.make ~seeds:[ 2; 8 ] inst.Tdmd.Instance.graph ~shards:2 in
+  let cfg = Session.durability ~fsync:Journal.Always dir in
+  let engine =
+    Engine.create ~config:(mk_config ~durability:cfg ()) ~shards:2 ~partition
+      (Engine.General inst)
+  in
+  let boundary =
+    (* First vertex owned by shard 1: a path from just before it spans
+       both shards. *)
+    let rec go v = if Pt.owner partition v = 1 then v else go (v + 1) in
+    go 0
+  in
+  let cross_path = [ boundary - 1; boundary; boundary + 1 ] in
+  let reply =
+    expect_applied "cross arrive"
+      (Engine.arrive engine ~req:"x1" ~id:50 ~rate:2 ~path:cross_path ())
+  in
+  Alcotest.(check bool) "cross tagged" true
+    (Json.member "cross" reply = Some (Json.Bool true));
+  let home = int_field "cross" "shard" reply in
+  (* Retire verified: the coordinator is quiet again. *)
+  (match List.assoc_opt "coord" (Engine.stats_fields engine) with
+  | Some coord ->
+    Alcotest.(check int) "prepared once" 1 (int_field "coord" "prepares" coord);
+    Alcotest.(check int) "nothing in flight" 0 (int_field "coord" "inflight" coord)
+  | None -> Alcotest.fail "durable sharded stats must carry \"coord\"");
+  Engine.close engine;
+  (* Simulate a coordinator that died between prepare and done: append
+     a bare prepare to the (now compacted) coordinator journal, then
+     recover.  The op must be applied exactly once. *)
+  let coord_file = Filename.concat dir "coord.wal" in
+  let journal, leftover = Journal.open_append ~fsync:Journal.Always coord_file in
+  Alcotest.(check int) "coord journal compacted" 0 (List.length leftover);
+  Journal.append journal
+    (Journal.Cross_prepare
+       {
+         xid = "manual-77";
+         home;
+         op = Journal.Arrive { id = 77; rate = 1; path = cross_path; req = Some "manual-77" };
+       });
+  Journal.close journal;
+  (match Engine.recover cfg with
+  | Error msg -> Alcotest.failf "recover with inflight prepare: %s" msg
+  | Ok recovered ->
+    (match List.assoc_opt "coord" (Engine.stats_fields recovered) with
+    | Some coord ->
+      Alcotest.(check int) "replayed one prepare" 1
+        (int_field "coord" "replayed" coord)
+    | None -> Alcotest.fail "recovered stats must carry \"coord\"");
+    (match List.assoc "flows" (Engine.churn_stats recovered) with
+    | Json.Int f -> Alcotest.(check int) "both flows live" 2 f
+    | _ -> Alcotest.fail "missing flows");
+    (* A second recovery replays nothing: the done record (and the
+       reset) retired the prepare. *)
+    Engine.close recovered);
+  match Engine.recover cfg with
+  | Error msg -> Alcotest.failf "second recover: %s" msg
+  | Ok again ->
+    (match List.assoc "flows" (Engine.churn_stats again) with
+    | Json.Int f -> Alcotest.(check int) "still exactly two flows" 2 f
+    | _ -> Alcotest.fail "missing flows");
+    Engine.close again
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard crash matrix                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR 4 crash discipline, sharded: drive a workload that mixes
+   shard-local and cross-shard ops against a 2-shard durable engine
+   whose fault plan crashes at the nth pass of a WAL/snapshot point —
+   in whichever journal (shard 0's, shard 1's or the coordinator's)
+   happens to hit it.  Recover, replay the whole workload with the same
+   req ids (the client retry protocol), and require the result to be
+   bit-identical to an uninterrupted run. *)
+
+type wop = A of int * int * int list | D of int
+
+(* On the default 2-shard partition of the 6-line, shard 0 owns
+   {0, 1} and shard 1 owns {2, 3, 4, 5}; paths touching both sides are
+   cross-shard ops. *)
+let sharded_workload =
+  [
+    A (1, 2, [ 0; 1 ]);        (* local to shard 0 *)
+    A (2, 4, [ 3; 4; 5 ]);     (* local to shard 1 *)
+    A (3, 1, [ 1; 2; 3 ]);     (* cross *)
+    D 2;
+    A (4, 3, [ 0; 1; 2 ]);     (* cross, home 0 *)
+    D 9999;                    (* unknown id: journaled no-op *)
+    A (5, 2, [ 2; 3 ]);        (* local to shard 1 *)
+    D 1;
+  ]
+
+let apply_wop engine i wop =
+  let req = Printf.sprintf "req-%d" i in
+  match wop with
+  | A (id, rate, path) -> Engine.arrive engine ~req ~id ~rate ~path ()
+  | D id -> Engine.depart engine ~req id
+
+let sharded_reference =
+  lazy
+    (let engine =
+       Engine.create ~config:(mk_config ()) ~shards:2
+         (Engine.General (line_instance 6))
+     in
+     List.iteri
+       (fun i wop ->
+         ignore (expect_applied "reference" (apply_wop engine i wop)))
+       sharded_workload;
+     engine_fingerprint engine)
+
+let crash_and_recover_sharded ~point ~nth ~snapshot_every =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let faults =
+    match Faults.of_spec (Printf.sprintf "crash@%s:%d" point nth) with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  let cfg = Session.durability ~snapshot_every ~faults dir in
+  (* The engine is created with the DEFAULT partitioner so recovery —
+     which recomputes the partition from the recovered graph — routes
+     replayed ops exactly as the original did. *)
+  (match
+     Engine.create ~config:(mk_config ~durability:cfg ()) ~shards:2
+       (Engine.General (line_instance 6))
+   with
+  | exception Faults.Crash _ -> ()
+  | engine -> (
+    try
+      List.iteri
+        (fun i wop ->
+          ignore
+            (expect_applied
+               (Printf.sprintf "%s op %d" point i)
+               (apply_wop engine i wop)))
+        sharded_workload
+    with Faults.Crash _ -> ()));
+  let clean = Session.durability ~snapshot_every dir in
+  match Engine.recover clean with
+  | Error msg -> Alcotest.failf "%s:%d: recover failed: %s" point nth msg
+  | Ok recovered ->
+    List.iteri
+      (fun i wop ->
+        ignore
+          (expect_applied
+             (Printf.sprintf "%s:%d replay op %d" point nth i)
+             (apply_wop recovered i wop)))
+      sharded_workload;
+    let got = engine_fingerprint recovered in
+    Engine.close recovered;
+    if got <> Lazy.force sharded_reference then
+      Alcotest.failf "%s:%d: recovered state differs\nref: %s\ngot: %s" point
+        nth
+        (Lazy.force sharded_reference)
+        got
+
+let sharded_crash_matrix =
+  [
+    (* Early and late passes of every WAL point; the hit counter is
+       global across the two shard journals and the coordinator's, so
+       different [nth]s land the crash in different journals. *)
+    ("wal.append.pre_write", 1, 0);
+    ("wal.append.pre_write", 5, 0);
+    ("wal.append.post_write", 2, 0);
+    ("wal.append.post_write", 7, 0);
+    ("wal.append.post_fsync", 3, 0);
+    ("wal.append.post_fsync", 9, 0);
+    (* Hits 1-2 are the two seed snapshots at construction; nth=3
+       crashes the first mid-workload snapshot. *)
+    ("snap.pre_rename", 3, 2);
+    ("snap.post_rename", 3, 2);
+  ]
+
+let test_sharded_crash_matrix () =
+  List.iter
+    (fun (point, nth, snapshot_every) ->
+      crash_and_recover_sharded ~point ~nth ~snapshot_every)
+    sharded_crash_matrix
+
+(* ------------------------------------------------------------------ *)
+(* Versioned envelope                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_envelope_versioning () =
+  (match P.request_of_json (Json.Obj [ ("op", Json.String "ping") ]) with
+  | Ok env -> Alcotest.(check int) "absent v is V1" 1 (P.version_to_int env.P.version)
+  | Error e -> Alcotest.failf "bare ping refused: %s" e);
+  (match
+     P.request_of_json
+       (Json.Obj [ ("op", Json.String "ping"); ("v", Json.Int 1) ])
+   with
+  | Ok env -> Alcotest.(check int) "explicit v=1" 1 (P.version_to_int env.P.version)
+  | Error e -> Alcotest.failf "v=1 ping refused: %s" e);
+  (match
+     P.request_of_json
+       (Json.Obj [ ("op", Json.String "ping"); ("v", Json.Int 2) ])
+   with
+  | Error e ->
+    Alcotest.(check string) "future version named" "unsupported protocol version 2" e
+  | Ok _ -> Alcotest.fail "v=2 must be refused");
+  (match
+     P.request_of_json
+       (Json.Obj [ ("op", Json.String "ping"); ("v", Json.String "1") ])
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-integer v must be refused");
+  (match
+     P.request_of_json
+       (Json.Obj
+          [ ("op", Json.String "depart"); ("flow_id", Json.Int 3);
+            ("shard_hint", Json.Int 2) ])
+   with
+  | Ok env -> Alcotest.(check (option int)) "shard_hint parsed" (Some 2) env.P.shard_hint
+  | Error e -> Alcotest.failf "hinted depart refused: %s" e);
+  (match
+     P.request_of_json
+       (Json.Obj
+          [ ("op", Json.String "depart"); ("flow_id", Json.Int 3);
+            ("shard_hint", Json.Int (-1)) ])
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative shard_hint must be refused");
+  (* Round trip: the writer emits what the parser accepts. *)
+  match
+    P.request_of_json
+      (P.request_to_json ~req:"r" ~shard_hint:1 (P.Depart 9))
+  with
+  | Ok env ->
+    Alcotest.(check (option int)) "round-trip hint" (Some 1) env.P.shard_hint;
+    Alcotest.(check bool) "round-trip op" true (env.P.request = P.Depart 9)
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Redirect following (client side)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let temp_addr () =
+  let path = Filename.temp_file "tdmd-engine" ".sock" in
+  Sys.remove path;
+  P.Unix_sock path
+
+(* A one-frame fake replica: accepts connections and answers every
+   frame with the given response. *)
+let fake_replica addr respond =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (P.sockaddr addr);
+  Unix.listen fd 4;
+  let stop = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.accept fd with
+          | exception Unix.Unix_error _ -> Atomic.set stop true
+          | conn, _ ->
+            (try
+               let rec serve () =
+                 match P.read_frame conn with
+                 | Ok frame ->
+                   P.write_frame conn (respond frame);
+                   serve ()
+                 | Error (`Eof | `Bad _) -> ()
+               in
+               serve ()
+             with Unix.Unix_error _ -> ());
+            (try Unix.close conn with Unix.Unix_error _ -> ())
+        done)
+      ()
+  in
+  fun () ->
+    Atomic.set stop true;
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Thread.join thread
+
+let test_client_follows_redirect () =
+  let real_addr = temp_addr () in
+  let session = Session.create ~config:(mk_config ()) (line_instance 6) in
+  let server = Server.start_session (Server.default_config real_addr) session in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop server;
+      Server.wait server)
+  @@ fun () ->
+  let fake_addr = temp_addr () in
+  let stop_fake = fake_replica fake_addr (fun _ -> P.redirect real_addr) in
+  Fun.protect ~finally:stop_fake @@ fun () ->
+  let c = Client.connect fake_addr in
+  (* One transparent hop: the reply comes from the real server. *)
+  (match Client.rpc c P.Ping with
+  | Ok resp ->
+    Alcotest.(check bool) "redirected ping answered" true
+      (Json.member "ok" resp = Some (Json.Bool true))
+  | Error e -> Alcotest.failf "redirect not followed: %s" e);
+  (* The new address sticks: a mutating op goes straight to the real
+     server and is applied there. *)
+  (match Client.rpc c (P.Arrive { id = 9; rate = 1; path = [ 0; 1; 2 ] }) with
+  | Ok resp ->
+    Alcotest.(check bool) "arrive after redirect" true
+      (Json.member "ok" resp = Some (Json.Bool true))
+  | Error e -> Alcotest.failf "post-redirect arrive failed: %s" e);
+  Alcotest.(check int) "flow landed on the real server" 1
+    (match List.assoc "flows" (Session.churn_stats session) with
+    | Json.Int v -> v
+    | _ -> -1);
+  Client.close c
+
+let test_client_redirect_loop_surfaces () =
+  (* A replica that redirects to itself: the client follows once, then
+     returns the second redirect verbatim instead of looping. *)
+  let fake_addr = temp_addr () in
+  let stop_fake = fake_replica fake_addr (fun _ -> P.redirect fake_addr) in
+  Fun.protect ~finally:stop_fake @@ fun () ->
+  let c = Client.connect fake_addr in
+  (match Client.rpc c P.Ping with
+  | Ok resp ->
+    Alcotest.(check bool) "loop surfaced as redirect response" true
+      (Json.member "code" resp = Some (Json.String "redirect"))
+  | Error e -> Alcotest.failf "redirect loop: transport error %s" e);
+  Client.close c
+
+(* ------------------------------------------------------------------ *)
+(* Journal codec: cross-shard records                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cross_record_codec () =
+  let roundtrip op =
+    match Journal.op_of_json (Journal.op_to_json op) with
+    | Ok got -> Alcotest.(check bool) "roundtrip" true (got = op)
+    | Error e -> Alcotest.failf "decode failed: %s" e
+  in
+  roundtrip
+    (Journal.Cross_prepare
+       {
+         xid = "x-1";
+         home = 3;
+         op = Journal.Arrive { id = 7; rate = 2; path = [ 1; 2 ]; req = Some "x-1" };
+       });
+  roundtrip
+    (Journal.Cross_prepare
+       { xid = "x-2"; home = 0; op = Journal.Depart { flow_id = 7; req = None } });
+  roundtrip (Journal.Cross_done { xid = "x-1" });
+  (* Nested cross records are refused by the codec. *)
+  match
+    Journal.op_of_json
+      (Journal.op_to_json
+         (Journal.Cross_prepare
+            { xid = "outer"; home = 0; op = Journal.Cross_done { xid = "inner" } }))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nested cross record must be refused"
+
+let suite =
+  [
+    Alcotest.test_case "config: defaults and deprecated aliases" `Quick
+      test_config_aliases;
+    Alcotest.test_case "one shard: bit-identical to the session" `Quick
+      test_one_shard_bit_identical;
+    Alcotest.test_case "sharded: path-ownership routing" `Quick
+      test_sharded_routing;
+    Alcotest.test_case "sharded: group commit under concurrency" `Quick
+      test_group_commit_concurrent;
+    Alcotest.test_case "sharded: cross-shard two-phase replay" `Quick
+      test_cross_shard_replay;
+    Alcotest.test_case "sharded: crash matrix" `Quick test_sharded_crash_matrix;
+    Alcotest.test_case "protocol: versioned envelope" `Quick
+      test_envelope_versioning;
+    Alcotest.test_case "client: follows one redirect" `Quick
+      test_client_follows_redirect;
+    Alcotest.test_case "client: redirect loop surfaces" `Quick
+      test_client_redirect_loop_surfaces;
+    Alcotest.test_case "journal: cross record codec" `Quick
+      test_cross_record_codec;
+  ]

@@ -11,6 +11,20 @@ module Faults = Tdmd_server.Faults
 module Session = Tdmd_server.Session
 module P = Tdmd_server.Protocol
 
+(* New-API constructor (the deprecated [of_general] alias has its own
+   equivalence test in test_engine.ml). *)
+let session_of_general ?durability ?dedup_cap ~churn_k inst =
+  Session.create
+    ~config:
+      {
+        Session.Config.churn_k = churn_k;
+        Session.Config.dedup_cap =
+          Option.value dedup_cap ~default:Session.default_dedup_cap;
+        Session.Config.durability = durability;
+        Session.Config.dtel = None;
+      }
+    inst
+
 (* ------------------------------------------------------------------ *)
 (* CRC32                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -438,7 +452,7 @@ let rm_rf dir =
 
 let reference_fingerprint =
   lazy
-    (let session = Session.of_general ~churn_k:2 (tiny_instance ()) in
+    (let session = session_of_general ~churn_k:2 (tiny_instance ()) in
      List.iteri
        (fun i wop -> expect_applied "reference" (apply_wop session i wop))
        workload;
@@ -461,7 +475,7 @@ let crash_and_recover ~point ~nth ~snapshot_every =
      stand-in for the process dying.  (Re-opening in the same process
      works because POSIX record locks do not conflict within one
      process.) *)
-  (match Session.of_general ~durability:cfg ~churn_k:2 (tiny_instance ()) with
+  (match session_of_general ~durability:cfg ~churn_k:2 (tiny_instance ()) with
   | exception Faults.Crash _ -> ()
   | session -> (
     try
@@ -521,7 +535,7 @@ let test_crash_recovery () =
    the fingerprint above) and dedup hits must equal the number of ops
    that had already been applied before the crash. *)
 let test_dedup_suppression () =
-  let session = Session.of_general ~churn_k:2 (tiny_instance ()) in
+  let session = session_of_general ~churn_k:2 (tiny_instance ()) in
   expect_applied "first"
     (Session.arrive session ~req:"r1" ~id:50 ~rate:1 ~path:[ 0; 1; 2 ] ());
   (match Session.arrive session ~req:"r1" ~id:50 ~rate:1 ~path:[ 0; 1; 2 ] () with
@@ -562,7 +576,7 @@ let test_dedup_bounded () =
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let cfg = Session.durability dir in
   let s =
-    Session.of_general ~durability:cfg ~dedup_cap:3 ~churn_k:2 (tiny_instance ())
+    session_of_general ~durability:cfg ~dedup_cap:3 ~churn_k:2 (tiny_instance ())
   in
   for i = 1 to 5 do
     expect_applied "bounded arrive"
@@ -610,7 +624,7 @@ let test_recover_removes_orphans () =
         | Error m -> Alcotest.fail m
       in
       let cfg = Session.durability ~snapshot_every:3 ~faults dir in
-      (match Session.of_general ~durability:cfg ~churn_k:2 (tiny_instance ()) with
+      (match session_of_general ~durability:cfg ~churn_k:2 (tiny_instance ()) with
       | exception Faults.Crash _ -> ()
       | session -> (
         try
@@ -644,7 +658,7 @@ let test_clean_restart_replays_nothing () =
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let cfg = Session.durability dir in
-  let s = Session.of_general ~durability:cfg ~churn_k:2 (tiny_instance ()) in
+  let s = session_of_general ~durability:cfg ~churn_k:2 (tiny_instance ()) in
   List.iteri (fun i wop -> expect_applied "clean" (apply_wop s i wop)) workload;
   let fp = fingerprint s in
   Session.close s;

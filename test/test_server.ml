@@ -12,6 +12,30 @@ module Server = Tdmd_server.Server
 module Client = Tdmd_server.Client
 module Session = Tdmd_server.Session
 
+(* New-API constructors; the deprecated [of_general]/[of_tree] aliases
+   have their own equivalence test in test_engine.ml. *)
+let session_of_general ?durability ~churn_k inst =
+  Session.create
+    ~config:
+      {
+        Session.Config.churn_k = churn_k;
+        Session.Config.dedup_cap = Session.default_dedup_cap;
+        Session.Config.durability = durability;
+        Session.Config.dtel = None;
+      }
+    inst
+
+let session_of_tree ~churn_k t =
+  Session.create_tree
+    ~config:
+      {
+        Session.Config.churn_k = churn_k;
+        Session.Config.dedup_cap = Session.default_dedup_cap;
+        Session.Config.durability = None;
+        Session.Config.dtel = None;
+      }
+    t
+
 let temp_addr () =
   let path = Filename.temp_file "tdmd-test" ".sock" in
   Sys.remove path;
@@ -21,7 +45,7 @@ let with_server ?(domains = 2) ?(queue = 64) ?default_deadline_ms ?metrics_out
     session f =
   let addr = temp_addr () in
   let server =
-    Server.start
+    Server.start_session
       { Server.addr; domains; queue_capacity = queue; default_deadline_ms;
         metrics_out }
       session
@@ -110,7 +134,7 @@ let write_raw_payload fd payload =
 let test_concurrent_solves () =
   let tree_inst = Sc.build_tree (Rng.create 4242) Sc.default_tree in
   let k = Sc.default_tree.Sc.k in
-  let session = Session.of_tree ~churn_k:k tree_inst in
+  let session = session_of_tree ~churn_k:k tree_inst in
   with_server ~domains:2 session (fun addr _server ->
       let algos =
         [| "gtp"; "celf"; "dp"; "hat"; "random"; "best-effort"; "scaled-dp";
@@ -180,7 +204,7 @@ let test_concurrent_solves () =
 (* ------------------------------------------------------------------ *)
 
 let test_deadline_expiry () =
-  let session = Session.of_general ~churn_k:2 (tiny_general ()) in
+  let session = session_of_general ~churn_k:2 (tiny_general ()) in
   with_server ~domains:1 ~queue:8 session (fun addr _server ->
       let sleeper = Client.connect addr in
       let th =
@@ -208,7 +232,7 @@ let test_deadline_expiry () =
 (* ------------------------------------------------------------------ *)
 
 let test_overload_rejection () =
-  let session = Session.of_general ~churn_k:2 (tiny_general ()) in
+  let session = session_of_general ~churn_k:2 (tiny_general ()) in
   with_server ~domains:1 ~queue:2 session (fun addr _server ->
       let fd = raw_connect addr in
       let send ~id ms =
@@ -247,7 +271,7 @@ let test_overload_rejection () =
 (* ------------------------------------------------------------------ *)
 
 let test_malformed_and_unknown () =
-  let session = Session.of_general ~churn_k:2 (tiny_general ()) in
+  let session = session_of_general ~churn_k:2 (tiny_general ()) in
   with_server session (fun addr _server ->
       (* Invalid JSON in a well-framed payload: answered, then the
          connection is dropped (framing can no longer be trusted). *)
@@ -302,7 +326,7 @@ let test_malformed_and_unknown () =
 (* ------------------------------------------------------------------ *)
 
 let test_churn_ops () =
-  let session = Session.of_general ~churn_k:2 (tiny_general ()) in
+  let session = session_of_general ~churn_k:2 (tiny_general ()) in
   with_server session (fun addr _server ->
       let c = Client.connect addr in
       let arrived =
@@ -339,7 +363,7 @@ let test_churn_ops () =
    ["req"] envelope field is answered from the dedup table, not applied
    again — the contract Client.rpc_retry leans on. *)
 let test_dedup_over_the_wire () =
-  let session = Session.of_general ~churn_k:2 (tiny_general ()) in
+  let session = session_of_general ~churn_k:2 (tiny_general ()) in
   with_server session (fun addr _server ->
       let c = Client.connect addr in
       let first =
@@ -379,7 +403,7 @@ let test_dedup_over_the_wire () =
 (* ------------------------------------------------------------------ *)
 
 let test_graceful_drain () =
-  let session = Session.of_general ~churn_k:2 (tiny_general ()) in
+  let session = session_of_general ~churn_k:2 (tiny_general ()) in
   let metrics = Filename.temp_file "tdmd-test" ".jsonl" in
   Sys.remove metrics;
   let sock_path = ref "" in

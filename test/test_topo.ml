@@ -179,6 +179,117 @@ let test_topo_stats () =
   Alcotest.(check bool) "renders" true
     (String.length (Tdmd_topo.Topo_stats.render s) > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Partition: hub-rooted regions for the sharded serve engine          *)
+(* ------------------------------------------------------------------ *)
+
+module Pt = Tdmd_topo.Partition
+
+let random_path rng n =
+  let len = 1 + Rng.int rng 8 in
+  Array.init len (fun _ -> Rng.int rng n)
+
+let prop_partition_total =
+  QCheck.Test.make ~name:"partition: every vertex gets exactly one shard"
+    ~count:80
+    QCheck.(triple (int_range 2 60) (int_range 1 6) (int_bound 100000))
+    (fun (n, shards, seed) ->
+      let rng = Rng.create seed in
+      let g = Tg.erdos_renyi rng n ~p:0.1 in
+      let p = Pt.make g ~shards in
+      Pt.shards p = shards
+      && Pt.vertex_count p = n
+      && List.for_all
+           (fun v ->
+             let s = Pt.owner p v in
+             s >= 0 && s < shards)
+           (List.init n Fun.id)
+      && Array.fold_left ( + ) 0 (Pt.counts p) = n)
+
+let prop_partition_deterministic =
+  QCheck.Test.make
+    ~name:"partition: a pure function of the graph (recovery recomputes it)"
+    ~count:60
+    QCheck.(triple (int_range 2 60) (int_range 1 6) (int_bound 100000))
+    (fun (n, shards, seed) ->
+      let rng = Rng.create seed in
+      let g = Tg.erdos_renyi rng n ~p:0.1 in
+      let a = Pt.make g ~shards and b = Pt.make g ~shards in
+      List.for_all (fun v -> Pt.owner a v = Pt.owner b v) (List.init n Fun.id))
+
+let prop_partition_one_shard_never_cross =
+  QCheck.Test.make ~name:"partition: one shard owns every path" ~count:60
+    QCheck.(pair (int_range 2 40) (int_bound 100000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Tg.erdos_renyi rng n ~p:0.1 in
+      let p = Pt.make g ~shards:1 in
+      List.for_all
+        (fun _ -> Pt.ownership p (random_path rng n) = Pt.Owned 0)
+        (List.init 20 Fun.id))
+
+let prop_partition_home_majority =
+  QCheck.Test.make
+    ~name:"partition: cross home owns the most path vertices, ties low"
+    ~count:80
+    QCheck.(triple (int_range 4 60) (int_range 2 6) (int_bound 100000))
+    (fun (n, shards, seed) ->
+      let rng = Rng.create seed in
+      let g = Tg.erdos_renyi rng n ~p:0.1 in
+      let p = Pt.make g ~shards in
+      List.for_all
+        (fun _ ->
+          let path = random_path rng n in
+          let counts = Array.make shards 0 in
+          Array.iter
+            (fun v ->
+              let s = Pt.owner p v in
+              counts.(s) <- counts.(s) + 1)
+            path;
+          let expected_home = ref 0 in
+          for s = 1 to shards - 1 do
+            if counts.(s) > counts.(!expected_home) then expected_home := s
+          done;
+          let owners =
+            List.sort_uniq compare
+              (Array.to_list (Array.map (Pt.owner p) path))
+          in
+          match Pt.ownership p path with
+          | Pt.Owned s -> owners = [ s ]
+          | Pt.Cross { home; spans } ->
+            home = !expected_home && spans = owners && List.length owners > 1)
+        (List.init 20 Fun.id))
+
+let test_partition_edges () =
+  let g = G.create 6 in
+  for v = 0 to 4 do
+    G.add_undirected g v (v + 1)
+  done;
+  (* Explicit seeds pin the regions: BFS fronts from 1 and 4 meet in
+     the middle of the line. *)
+  let p = Pt.make ~seeds:[ 1; 4 ] g ~shards:2 in
+  Alcotest.(check (list int)) "line splits contiguously"
+    [ 0; 0; 0; 1; 1; 1 ]
+    (List.map (Pt.owner p) [ 0; 1; 2; 3; 4; 5 ]);
+  (match Pt.ownership p [| 2; 3 |] with
+  | Pt.Cross { home = 0; spans = [ 0; 1 ] } -> ()
+  | _ -> Alcotest.fail "straddling path must be cross with home 0");
+  let t = Pt.trivial ~n:4 in
+  Alcotest.(check int) "trivial is one shard" 1 (Pt.shards t);
+  Alcotest.check_raises "empty path refused"
+    (Invalid_argument "Partition.ownership: empty path") (fun () ->
+      ignore (Pt.ownership p [||]));
+  (* Ark partitions seed at the hubs; shard count defaults to the hub
+     count. *)
+  let ark = Tdmd_topo.Ark.generate (Rng.create 7) ~n:40 in
+  let pa = Pt.of_ark ark in
+  Alcotest.(check int) "one shard per hub"
+    (List.length ark.Tdmd_topo.Ark.hubs)
+    (Pt.shards pa);
+  List.iteri
+    (fun i h -> Alcotest.(check int) "hub owns its own region" i (Pt.owner pa h))
+    ark.Tdmd_topo.Ark.hubs
+
 let suite =
   [
     Alcotest.test_case "general: random regular (jellyfish)" `Quick
@@ -196,4 +307,10 @@ let suite =
     Alcotest.test_case "datacenter: bcube" `Quick test_bcube;
     Alcotest.test_case "ark: generator, tree, subgraph" `Quick test_ark;
     QCheck_alcotest.to_alcotest prop_generators_connected;
+    Alcotest.test_case "partition: line, trivial, ark" `Quick
+      test_partition_edges;
+    QCheck_alcotest.to_alcotest prop_partition_total;
+    QCheck_alcotest.to_alcotest prop_partition_deterministic;
+    QCheck_alcotest.to_alcotest prop_partition_one_shard_never_cross;
+    QCheck_alcotest.to_alcotest prop_partition_home_majority;
   ]
