@@ -7,6 +7,7 @@
      dune exec bench/main.exe fig17
      dune exec bench/main.exe micro
      dune exec bench/main.exe solvers    # registry sweep -> BENCH_solvers.json
+     dune exec bench/main.exe churn-timeline  # budget Pareto -> BENCH_churn.json
      dune exec bench/main.exe ablation
 
    Absolute values depend on this synthetic substrate (see DESIGN.md §2);
@@ -858,6 +859,188 @@ let recover_bench () =
   Table.print table;
   Printf.printf "\nwrote %s (3 fsync policies)\n" recover_json_path
 
+(* ------------------------------------------------------------------ *)
+(* Churn bench: bandwidth vs migrations across rebalance budgets       *)
+(* ------------------------------------------------------------------ *)
+
+(* One Temporal flow timeline replayed under the whole solver family:
+   pin-only (migration budget 0, the historical engine), incremental-lrs
+   at several finite budgets, and recompute-from-scratch GTP after every
+   event as the quality ceiling.  Each variant yields one JSON-lines
+   record in BENCH_churn.json (path overridable with
+   TDMD_BENCH_CHURN_JSON; TDMD_BENCH_CHURN_QUICK=1 shrinks the replay
+   for CI smoke) — together they trace the bandwidth-vs-migrations
+   Pareto curve.  Bandwidth is sampled after every event, so the mean
+   rewards staying good during churn rather than ending well. *)
+let churn_json_path =
+  match Sys.getenv_opt "TDMD_BENCH_CHURN_JSON" with
+  | Some p -> p
+  | None -> "BENCH_churn.json"
+
+let churn_quick = Sys.getenv_opt "TDMD_BENCH_CHURN_QUICK" <> None
+
+let churn_bench () =
+  let open Tdmd_prelude in
+  print_endline "== churn bench: one timeline, the whole budget family ==\n";
+  let n = if churn_quick then 24 else 48 in
+  let k = if churn_quick then 4 else 6 in
+  let horizon = if churn_quick then 25.0 else 120.0 in
+  let budgets = if churn_quick then [ 2 ] else [ 1; 2; 4; 8 ] in
+  let lambda = 0.5 in
+  let rng = Rng.create 4242 in
+  let g = Tdmd_topo.Topo_general.erdos_renyi rng n ~p:0.15 in
+  let draw_flow rng id =
+    let rec pick attempts =
+      if attempts > 100 then failwith "churn bench: cannot draw a flow path"
+      else begin
+        let src = Rng.int rng n and dst = Rng.int rng n in
+        if src = dst then pick (attempts + 1)
+        else
+          match Tdmd_graph.Bfs.shortest_path g ~src ~dst with
+          | Some path when List.length path > 1 ->
+            Tdmd_flow.Flow.make ~id ~rate:(Rng.int_in rng 1 8) ~path
+          | _ -> pick (attempts + 1)
+      end
+    in
+    pick 0
+  in
+  let timeline =
+    Tdmd_traffic.Temporal.generate rng ~horizon ~mean_interarrival:0.5
+      ~mean_lifetime:8.0 ~draw_flow
+  in
+  let events = List.length timeline in
+  (* Replay under an (apply, sample) pair shared by every variant:
+     [apply] consumes one event, [sample] reads the bandwidth of the
+     deployment it left behind. *)
+  let replay ~apply ~sample =
+    let sum = ref 0.0 in
+    let (), seconds =
+      Timer.time (fun () ->
+          List.iter
+            (fun (_, ev) ->
+              apply ev;
+              sum := !sum +. sample ())
+            timeline)
+    in
+    (!sum /. float_of_int (max 1 events), sample (), seconds)
+  in
+  let oc = open_out churn_json_path in
+  let sink = Tdmd_obs.Sink.of_channel oc in
+  let table =
+    Table.create
+      [ "variant"; "budget/event"; "mean bw"; "final bw"; "moves";
+        "rebalance moves"; "events/s" ]
+  in
+  let emit ~variant ~budget ~mean_bw ~final_bw ~moves ~rebalance_moves
+      ~seconds =
+    Tdmd_obs.Sink.emit sink
+      (Tdmd_obs.Json.Obj
+         [
+           ("event", Tdmd_obs.Json.String "bench-churn");
+           ("variant", Tdmd_obs.Json.String variant);
+           ("budget_per_event", Tdmd_obs.Json.Int budget);
+           ("vertices", Tdmd_obs.Json.Int n);
+           ("k", Tdmd_obs.Json.Int k);
+           ("lambda", Tdmd_obs.Json.Float lambda);
+           ("events", Tdmd_obs.Json.Int events);
+           ("mean_bandwidth", Tdmd_obs.Json.Float mean_bw);
+           ("final_bandwidth", Tdmd_obs.Json.Float final_bw);
+           ("moves", Tdmd_obs.Json.Int moves);
+           ("rebalance_moves", Tdmd_obs.Json.Int rebalance_moves);
+           ("seconds", Tdmd_obs.Json.Float seconds);
+           ( "events_per_s",
+             Tdmd_obs.Json.Float
+               (float_of_int events /. Float.max seconds 1e-9) );
+         ]);
+    Table.add_row table
+      [
+        variant;
+        string_of_int budget;
+        Printf.sprintf "%.2f" mean_bw;
+        Printf.sprintf "%.2f" final_bw;
+        string_of_int moves;
+        string_of_int rebalance_moves;
+        Printf.sprintf "%.0f" (float_of_int events /. Float.max seconds 1e-9);
+      ]
+  in
+  let incremental ~variant ~migration_budget =
+    let t = Tdmd.Incremental.create ~migration_budget ~graph:g ~lambda ~k () in
+    let apply = function
+      | Tdmd_traffic.Temporal.Arrival f -> Tdmd.Incremental.arrive t f
+      | Tdmd_traffic.Temporal.Departure id -> Tdmd.Incremental.depart t id
+    in
+    let mean_bw, final_bw, seconds =
+      replay ~apply ~sample:(fun () -> Tdmd.Incremental.bandwidth t)
+    in
+    emit ~variant ~budget:migration_budget ~mean_bw ~final_bw
+      ~moves:(Tdmd.Incremental.moves t)
+      ~rebalance_moves:(Tdmd.Incremental.rebalance_moves t)
+      ~seconds;
+    mean_bw
+  in
+  let pin_mean = incremental ~variant:"pin-only" ~migration_budget:0 in
+  let lrs_means =
+    List.map
+      (fun b ->
+        incremental
+          ~variant:(Printf.sprintf "incremental-lrs(%d)" b)
+          ~migration_budget:b)
+      budgets
+  in
+  (* Recompute-from-scratch ceiling: a fresh GTP after every event;
+     migrations are the symmetric difference between consecutive
+     deployments. *)
+  let scratch_mean =
+    let live = Hashtbl.create 64 in
+    let order = ref [] in
+    let placement = ref Tdmd.Placement.empty in
+    let moves = ref 0 in
+    let bw = ref 0.0 in
+    let apply ev =
+      (match ev with
+      | Tdmd_traffic.Temporal.Arrival f ->
+        Hashtbl.replace live f.Tdmd_flow.Flow.id f;
+        order := f.Tdmd_flow.Flow.id :: !order
+      | Tdmd_traffic.Temporal.Departure id ->
+        Hashtbl.remove live id;
+        order := List.filter (fun i -> i <> id) !order);
+      (* [order] is newest-first, so [rev_map] restores arrival order. *)
+      let flows = List.rev_map (fun id -> Hashtbl.find live id) !order in
+      let inst = Tdmd.Instance.make ~graph:g ~flows ~lambda in
+      let report = Tdmd.Gtp.run ~budget:k inst in
+      let next = report.Tdmd.Gtp.placement in
+      let diff a b =
+        List.length
+          (List.filter
+             (fun v -> not (Tdmd.Placement.mem b v))
+             (Tdmd.Placement.to_list a))
+      in
+      moves := !moves + diff next !placement + diff !placement next;
+      placement := next;
+      bw := report.Tdmd.Gtp.bandwidth
+    in
+    let mean_bw, final_bw, seconds =
+      replay ~apply ~sample:(fun () -> !bw)
+    in
+    emit ~variant:"scratch-gtp" ~budget:(2 * k) ~mean_bw ~final_bw
+      ~moves:!moves ~rebalance_moves:0 ~seconds;
+    mean_bw
+  in
+  close_out oc;
+  Table.print table;
+  Printf.printf "\nwrote %s (%d variants, %d events)\n" churn_json_path
+    (2 + List.length budgets)
+    events;
+  (* The whole point of the budget family: finite budgets must not lose
+     to pin-only, and the scratch ceiling bounds them below. *)
+  List.iter
+    (fun lrs ->
+      if lrs > pin_mean +. 1e-9 then
+        failwith "churn bench: a finite budget lost to pin-only")
+    lrs_means;
+  if scratch_mean > pin_mean +. 1e-9 then
+    failwith "churn bench: scratch GTP lost to pin-only"
+
 let run_all () =
   List.iter
     (fun (id, f) ->
@@ -876,6 +1059,8 @@ let run_all () =
   print_newline ();
   recover_bench ();
   print_newline ();
+  churn_bench ();
+  print_newline ();
   ablation ()
 
 let () =
@@ -886,16 +1071,17 @@ let () =
   | [| _; "oracle" |] -> oracle_bench ()
   | [| _; "serve" |] -> serve_bench ()
   | [| _; "recover" |] -> recover_bench ()
+  | [| _; "churn-timeline" |] -> churn_bench ()
   | [| _; "ablation" |] -> ablation ()
   | [| _; fig |] -> (
     match List.assoc_opt fig line_figures with
     | Some f -> f ()
     | None ->
       Printf.eprintf
-        "unknown target %s (expected fig8..fig17, micro, solvers, oracle, serve, recover, ablation)\n"
+        "unknown target %s (expected fig8..fig17, micro, solvers, oracle, serve, recover, churn-timeline, ablation)\n"
         fig;
       exit 1)
   | _ ->
     Printf.eprintf
-      "usage: main.exe [fig8..fig17|micro|solvers|oracle|serve|recover|ablation]\n";
+      "usage: main.exe [fig8..fig17|micro|solvers|oracle|serve|recover|churn-timeline|ablation]\n";
     exit 1

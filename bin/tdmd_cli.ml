@@ -342,9 +342,14 @@ let durability_holds_state cfg =
   || Sys.file_exists (Filename.concat cfg.Tdmd_server.Session.dir "shard-0")
 
 let serve listen topology size lambda density seed instance_file domains queue
-    deadline_ms churn_k shards metrics_out journal fsync snapshot_every =
+    deadline_ms churn_k migration_budget shards metrics_out journal fsync
+    snapshot_every =
   if shards < 1 then begin
     Printf.eprintf "--shards must be >= 1\n";
+    exit 2
+  end;
+  if migration_budget < 0 then begin
+    Printf.eprintf "--migration-budget must be >= 0\n";
     exit 2
   end;
   let durability = parse_durability journal fsync snapshot_every in
@@ -352,6 +357,7 @@ let serve listen topology size lambda density seed instance_file domains queue
     {
       Tdmd_server.Session.Config.default with
       Tdmd_server.Session.Config.churn_k;
+      Tdmd_server.Session.Config.migration_budget;
       Tdmd_server.Session.Config.durability;
     }
   in
@@ -444,6 +450,16 @@ let serve_cmd =
   let churn_k_arg =
     Arg.(value & opt int 8 & info [ "churn-k" ] ~doc:"Middlebox budget of the churn engine")
   in
+  let migration_budget_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "migration-budget" ] ~docv:"B"
+          ~doc:
+            "Instance moves the rebalancer may spend after each churn event \
+             (per shard).  0 (the default) pins placements as before; larger \
+             budgets trade migrations for bandwidth.  Recovered directories \
+             keep the budget recorded in their snapshot")
+  in
   let shards_arg =
     Arg.(
       value & opt int 1
@@ -459,8 +475,8 @@ let serve_cmd =
     Term.(
       const serve $ listen_arg $ topology_arg $ size_arg $ lambda_arg
       $ density_arg $ seed_arg $ instance_arg $ domains_arg $ queue_arg
-      $ deadline_arg $ churn_k_arg $ shards_arg $ metrics_out_arg
-      $ journal_arg $ fsync_arg $ snapshot_every_arg)
+      $ deadline_arg $ churn_k_arg $ migration_budget_arg $ shards_arg
+      $ metrics_out_arg $ journal_arg $ fsync_arg $ snapshot_every_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover: offline rebuild + compaction of a journal directory        *)
@@ -501,7 +517,8 @@ let recover_cmd =
           (snapshot + WAL replay), print its state, and compact the journals")
     Term.(const recover $ journal_arg $ fsync_arg)
 
-let client connect op algo k seed on flow_id rate path ms deadline_ms req_id =
+let client connect op algo k seed on flow_id rate path ms budget deadline_ms
+    req_id =
   let module P = Tdmd_server.Protocol in
   let parse_path s =
     List.filter_map int_of_string_opt (String.split_on_char ',' s)
@@ -522,9 +539,11 @@ let client connect op algo k seed on flow_id rate path ms deadline_ms req_id =
         }
     | "arrive" -> P.Arrive { id = flow_id; rate; path = parse_path path }
     | "depart" -> P.Depart flow_id
+    | "rebalance" -> P.Rebalance { budget }
     | other ->
       Printf.eprintf
-        "unknown op %S (ping | stats | solve | arrive | depart | sleep | shutdown)\n"
+        "unknown op %S (ping | stats | solve | arrive | depart | rebalance | \
+         sleep | shutdown)\n"
         other;
       exit 2
   in
@@ -551,7 +570,9 @@ let client_cmd =
     Arg.(
       value & opt string "ping"
       & info [ "op" ]
-          ~doc:"ping | stats | solve | arrive | depart | sleep | shutdown")
+          ~doc:
+            "ping | stats | solve | arrive | depart | rebalance | sleep | \
+             shutdown")
   in
   let on_arg =
     Arg.(
@@ -572,6 +593,15 @@ let client_cmd =
   in
   let ms_arg =
     Arg.(value & opt int 100 & info [ "ms" ] ~doc:"Milliseconds for sleep")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "move-budget" ] ~docv:"B"
+          ~doc:
+            "Move budget for rebalance (default: the server's configured \
+             migration budget)")
   in
   let deadline_arg =
     Arg.(
@@ -594,14 +624,19 @@ let client_cmd =
        ~doc:"Send one request to a running tdmd serve and print the response")
     Term.(
       const client $ connect_arg $ op_arg $ algo_arg $ k_arg $ seed_arg $ on_arg
-      $ flow_id_arg $ rate_arg $ path_arg $ ms_arg $ deadline_arg $ req_id_arg)
+      $ flow_id_arg $ rate_arg $ path_arg $ ms_arg $ budget_arg $ deadline_arg
+      $ req_id_arg)
 
 (* ------------------------------------------------------------------ *)
 (* churn: replay an arrival/departure trace through Incremental        *)
 (* ------------------------------------------------------------------ *)
 
-let churn topology size k lambda density seed horizon interarrival lifetime
-    trace metrics_out =
+let churn topology size k migration_budget lambda density seed horizon
+    interarrival lifetime trace metrics_out =
+  if migration_budget < 0 then begin
+    Printf.eprintf "--migration-budget must be >= 0\n";
+    exit 2
+  end;
   let _, general = build_instances topology ~size ~lambda ~density ~seed in
   let graph = general.Tdmd.Instance.graph in
   let n = Tdmd.Instance.vertex_count general in
@@ -629,7 +664,8 @@ let churn topology size k lambda density seed horizon interarrival lifetime
       ~mean_lifetime:lifetime ~draw_flow
   in
   let engine =
-    Tdmd.Incremental.create ~graph ~lambda:general.Tdmd.Instance.lambda ~k
+    Tdmd.Incremental.create ~migration_budget ~graph
+      ~lambda:general.Tdmd.Instance.lambda ~k ()
   in
   let events = List.length timeline in
   let (), seconds =
@@ -661,6 +697,11 @@ let churn topology size k lambda density seed horizon interarrival lifetime
     (Tdmd.Incremental.moves engine)
     (float_of_int (Tdmd.Incremental.moves engine)
     /. Float.max 1.0 (float_of_int events));
+  if migration_budget > 0 then
+    Printf.printf "rebalance:  budget %d/event, %d passes, %d moves\n"
+      migration_budget
+      (Tdmd.Incremental.rebalances engine)
+      (Tdmd.Incremental.rebalance_moves engine);
   Printf.printf "time:       %.3f s  (%.0f events/s)\n" seconds
     (float_of_int events /. Float.max seconds 1e-9);
   if trace then Format.printf "telemetry:@.%a@." Tdmd_obs.Telemetry.pp tel;
@@ -700,13 +741,21 @@ let churn_cmd =
   let lifetime_arg =
     Arg.(value & opt float 10.0 & info [ "lifetime" ] ~doc:"Mean flow lifetime")
   in
+  let migration_budget_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "migration-budget" ] ~docv:"B"
+          ~doc:
+            "Instance moves the rebalancer may spend after each event; 0 \
+             (the default) pins placements as before")
+  in
   Cmd.v
     (Cmd.info "churn"
        ~doc:"Replay a generated arrival/departure trace through the churn engine")
     Term.(
-      const churn $ topology_arg $ size_arg $ k_arg $ lambda_arg $ density_arg
-      $ seed_arg $ horizon_arg $ interarrival_arg $ lifetime_arg $ trace_arg
-      $ metrics_out_arg)
+      const churn $ topology_arg $ size_arg $ k_arg $ migration_budget_arg
+      $ lambda_arg $ density_arg $ seed_arg $ horizon_arg $ interarrival_arg
+      $ lifetime_arg $ trace_arg $ metrics_out_arg)
 
 let () =
   let info =

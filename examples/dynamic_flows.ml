@@ -39,7 +39,7 @@ let () =
   in
   Printf.printf "timeline: %d events over 40 time units\n\n" (List.length timeline);
 
-  let inc = Tdmd.Incremental.create ~graph ~lambda:0.5 ~k in
+  let inc = Tdmd.Incremental.create ~graph ~lambda:0.5 ~k () in
   let t = Table.create [ "time"; "event"; "flows"; "b(maintained)"; "b(scratch GTP)"; "moves" ] in
   let scratch_total_moves = ref 0 in
   let last_scratch = ref Tdmd.Placement.empty in

@@ -11,29 +11,65 @@
       the deployed box whose removal costs least;
     - departure: drop boxes that no longer serve any flow, then spend
       freed budget on the current best-marginal vertex when it still
-      helps.
+      helps;
+    - rebalance: bounded local search in the Lukovszki–Rost–Schmid
+      spirit ("Approximate and Incremental Network Function
+      Placement") — spend at most a {e migration budget} of instance
+      moves on strictly-improving adds and single-box swaps, keeping
+      the placement near-optimal as churn drifts it.
+
+    All decisions compare exact integer diminished-volume marginals
+    (the {!Inc_oracle} convention), and the flow store is an
+    arrival-ordered tombstone list with an id index, so events are
+    amortised O(path + flows-through-touched-vertices) — no per-event
+    instance rebuild and no float thresholds.
 
     Every deployed/removed box counts as one *move* — the
     quality-vs-churn trade against from-scratch GTP is an ablation
-    bench. *)
+    bench ([bench churn-timeline]). *)
 
 type t
 
 val create :
-  graph:Tdmd_graph.Digraph.t -> lambda:float -> k:int -> t
+  ?migration_budget:int ->
+  graph:Tdmd_graph.Digraph.t ->
+  lambda:float ->
+  k:int ->
+  unit ->
+  t
+(** [migration_budget] (default 0) is the number of instance moves the
+    rebalancer may spend after {e each} churn event: 0 keeps the
+    historical pin-only behaviour bit-for-bit, larger budgets trade
+    migrations for bandwidth, and a huge budget approximates
+    recompute-from-scratch.
+    @raise Invalid_argument if [k < 1] or [migration_budget < 0]. *)
 
 val arrive : t -> Tdmd_flow.Flow.t -> unit
 (** @raise Invalid_argument on duplicate flow ids or invalid paths. *)
 
 val depart : t -> int -> unit
-(** Remove the flow with the given id; unknown ids are ignored. *)
+(** Remove the flow with the given id.
+    @raise Invalid_argument on unknown ids — callers must check
+    {!mem_flow} first (the serve layer surfaces this as a churn
+    conflict instead of silently counting a phantom departure). *)
+
+val rebalance : ?budget:int -> t -> int
+(** Run one bounded local-search pass: greedy adds while deployment
+    budget remains (one move each), then best strictly-improving
+    single-box swaps (two moves each), spending at most [budget] moves
+    (default: the engine's migration budget).  Deterministic — ties
+    break towards the earliest-placed box and the lowest vertex — so
+    journal replay reproduces it bit-for-bit.  Returns the number of
+    moves actually spent.
+    @raise Invalid_argument on negative budgets. *)
 
 val flows : t -> Tdmd_flow.Flow.t list
 
 val mem_flow : t -> int -> bool
 (** O(1) id-index lookup: is a flow with this id currently live?  The
-    serve path checks this on every arrival (duplicate-id conflict), so
-    it must not scan {!flows}. *)
+    serve path checks this on every arrival (duplicate-id conflict)
+    and departure (unknown-id conflict), so it must not scan
+    {!flows}. *)
 
 val flow_count : t -> int
 (** Number of live flows, O(1) (equals [List.length (flows t)]). *)
@@ -44,10 +80,21 @@ val feasible : t -> bool
 val moves : t -> int
 (** Total placement changes so far (adds + removals). *)
 
+val migration_budget : t -> int
+(** The per-event rebalancing budget this engine was created with. *)
+
+val rebalances : t -> int
+(** Rebalance passes run so far (explicit {!rebalance} calls plus the
+    automatic post-event pass when the migration budget is positive). *)
+
+val rebalance_moves : t -> int
+(** Moves spent by rebalance passes (a subset of {!moves}). *)
+
 val telemetry : t -> Tdmd_obs.Telemetry.t
 (** Lifetime telemetry: counters ["moves"], ["arrivals"],
-    ["departures"], ["budget"].  [moves] above is a deprecated alias of
-    the ["moves"] counter. *)
+    ["departures"], ["budget"], ["migration_budget"], ["rebalances"],
+    ["rebalance_moves"].  [moves] above is a deprecated alias of the
+    ["moves"] counter. *)
 
 val instance : t -> Instance.t
 (** Current snapshot as a static instance. *)
@@ -62,10 +109,13 @@ val instance : t -> Instance.t
 
 val placed_order : t -> int list
 (** The deployment in {e selection} order (unlike {!placement}, which
-    sorts).  Selection order feeds future replacement decisions, so a
-    faithful restore needs it. *)
+    sorts).  Selection order feeds future replacement and swap
+    decisions, so a faithful restore needs it. *)
 
 val restore :
+  ?migration_budget:int ->
+  ?rebalances:int ->
+  ?rebalance_moves:int ->
   graph:Tdmd_graph.Digraph.t ->
   lambda:float ->
   k:int ->
@@ -74,9 +124,14 @@ val restore :
   moves:int ->
   arrivals:int ->
   departures:int ->
+  unit ->
   t
 (** Rebuild an engine from exported state: [flows] in arrival order
     (as returned by {!flows}), [placed] in selection order (as returned
-    by {!placed_order}), and the lifetime counters.  The result is
-    bit-identical to the engine the state was exported from.
-    @raise Invalid_argument on invalid flows/placement/counters. *)
+    by {!placed_order}), the lifetime counters, and the migration
+    budget the engine ran with (replaying journalled events only
+    reproduces the automatic rebalance passes under the same budget).
+    The result is bit-identical to the engine the state was exported
+    from.
+    @raise Invalid_argument on invalid flows/placement/counters,
+    including duplicate placed vertices. *)

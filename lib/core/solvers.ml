@@ -99,7 +99,7 @@ module Incremental_solver : Solver_intf.GENERAL = struct
   let solve ~rng:_ ~k inst =
     let state =
       Incremental.create ~graph:inst.Instance.graph
-        ~lambda:inst.Instance.lambda ~k:(max k 1)
+        ~lambda:inst.Instance.lambda ~k:(max k 1) ()
     in
     Tdmd_obs.Telemetry.with_span
       (Incremental.telemetry state)
@@ -110,6 +110,46 @@ module Incremental_solver : Solver_intf.GENERAL = struct
       ~bandwidth:(Incremental.bandwidth state)
       ~feasible:(Incremental.feasible state)
       ~telemetry:(Incremental.telemetry state)
+end
+
+(* The incremental-lrs family: the same arrival replay, but each event
+   carries a migration budget spent by the bounded local-search
+   rebalancer (Lukovszki–Rost–Schmid-style), so the maintained
+   placement tracks the optimum instead of drifting.  [B] moves per
+   event; a huge [B] approximates recompute-from-scratch. *)
+let lrs_replay ~migration_budget ~k inst =
+  let state =
+    Incremental.create ~migration_budget ~graph:inst.Instance.graph
+      ~lambda:inst.Instance.lambda ~k:(max k 1) ()
+  in
+  Tdmd_obs.Telemetry.with_span
+    (Incremental.telemetry state)
+    "incremental-lrs-replay"
+    (fun () -> Array.iter (Incremental.arrive state) inst.Instance.flows);
+  outcome
+    ~placement:(Incremental.placement state)
+    ~bandwidth:(Incremental.bandwidth state)
+    ~feasible:(Incremental.feasible state)
+    ~telemetry:(Incremental.telemetry state)
+
+module Incremental_lrs_solver : Solver_intf.GENERAL = struct
+  type input = Instance.t
+
+  let name = "incremental-lrs"
+
+  (* B = 2: at most one box swap per event — the cheapest budget that
+     still counters churn drift. *)
+  let solve ~rng:_ ~k inst = lrs_replay ~migration_budget:2 ~k inst
+end
+
+module Incremental_lrs_max_solver : Solver_intf.GENERAL = struct
+  type input = Instance.t
+
+  let name = "incremental-lrs-max"
+
+  (* Unbounded budget: rebalance to a local optimum after every event,
+     approximating recompute-from-scratch at incremental cost. *)
+  let solve ~rng:_ ~k inst = lrs_replay ~migration_budget:max_int ~k inst
 end
 
 module Dp_solver : Solver_intf.TREE = struct
@@ -166,6 +206,8 @@ let general_modules : (module Solver_intf.GENERAL) list =
     (module Brute_solver);
     (module Gtp_ls_solver);
     (module Incremental_solver);
+    (module Incremental_lrs_solver);
+    (module Incremental_lrs_max_solver);
   ]
 
 let tree_modules : (module Solver_intf.TREE) list =

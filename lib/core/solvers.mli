@@ -15,6 +15,11 @@
     - ["gtp-ls"]       — GTP followed by {!Local_search.refine}
     - ["incremental"]  — {!Incremental} maintenance, replaying the
                          instance's flows as an arrival sequence
+    - ["incremental-lrs"]     — the same replay with a migration budget
+                                of 2 moves per event spent by the
+                                bounded local-search rebalancer
+    - ["incremental-lrs-max"] — unbounded migration budget: rebalance
+                                to a local optimum after every event
 
     Tree solvers ({!tree}):
     - ["dp"]           — optimal tree DP (Sec. 5.1)

@@ -131,7 +131,7 @@ let gen_req t =
   Printf.sprintf "%s-%d" t.tag n
 
 let is_mutating = function
-  | Protocol.Arrive _ | Protocol.Depart _ -> true
+  | Protocol.Arrive _ | Protocol.Depart _ | Protocol.Rebalance _ -> true
   | Protocol.Ping | Protocol.Sleep _ | Protocol.Solve _ | Protocol.Stats
   | Protocol.Shutdown ->
     false

@@ -179,7 +179,8 @@ let inflight_prepares ops =
   List.iter
     (function
       | Journal.Cross_done { xid } -> Hashtbl.replace done_xids xid ()
-      | Journal.Cross_prepare _ | Journal.Arrive _ | Journal.Depart _ -> ())
+      | Journal.Cross_prepare _ | Journal.Arrive _ | Journal.Depart _
+      | Journal.Rebalance _ -> ())
     ops;
   List.filter_map
     (function
@@ -194,6 +195,10 @@ let batch_op_of_journal xid = function
     Ok (Session.Batch_arrive { req = Some xid; id; rate; path })
   | Journal.Depart { flow_id; req = _ } ->
     Ok (Session.Batch_depart { req = Some xid; flow_id })
+  | Journal.Rebalance _ ->
+    (* Rebalance is per-shard local; the codec refuses to nest it, so a
+       prepare carrying one is corruption. *)
+    Error "coordinator journal: rebalance cannot be cross-shard"
   | Journal.Cross_prepare _ | Journal.Cross_done _ ->
     Error "coordinator journal: nested cross record"
 
@@ -261,6 +266,7 @@ let recover ?(dedup_cap = Session.default_dedup_cap) (cfg : Session.durability) 
               Router.assign router ~flow_id:id ~shard:home
             | Session.Batch_depart { flow_id; _ }, Ok _ ->
               Router.release router ~flow_id
+            | Session.Batch_rebalance _, Ok _ -> ()
             | _, Error _ -> ());
             Journal.append journal (Journal.Cross_done { xid });
             coord.replayed <- coord.replayed + 1;
@@ -433,7 +439,64 @@ let churn_stats t =
       ("moves", Json.Int (sum (fun s -> s.Session.moves)));
       ("arrivals", Json.Int (sum (fun s -> s.Session.arrivals)));
       ("departures", Json.Int (sum (fun s -> s.Session.departures)));
+      ("rebalances", Json.Int (sum (fun s -> s.Session.rebalances)));
+      ("rebalance_moves", Json.Int (sum (fun s -> s.Session.rebalance_moves)));
     ]
+  end
+
+(* Rebalance fans out to every shard: each shard's placement is
+   independent, so each spends its own budget on its own local search.
+   The same [req] goes to every shard — dedup tables are per-shard, so
+   a retry is suppressed on exactly the shards that already applied it
+   and runs on any shard that had not. *)
+let rebalance t ?req ?budget () =
+  if Array.length t.shards = 1 then
+    Shard.submit t.shards.(0) (Session.Batch_rebalance { req; budget })
+  else begin
+    let replies =
+      Array.map
+        (fun sh -> Shard.submit sh (Session.Batch_rebalance { req; budget }))
+        t.shards
+    in
+    match Array.find_opt Result.is_error replies with
+    | Some (Error _ as e) -> e
+    | Some (Ok _) | None ->
+      let field name json =
+        match json with
+        | Ok (Json.Obj fields) -> List.assoc_opt name fields
+        | Ok _ | Error _ -> None
+      in
+      let sum_int name =
+        Array.fold_left
+          (fun acc r ->
+            match field name r with Some (Json.Int i) -> acc + i | _ -> acc)
+          0 replies
+      in
+      (* A dedup hit answers without budget/moves_used; surface the
+         resolved budget from any shard that ran, and flag dedup only
+         when every shard suppressed the retry. *)
+      let budget_field =
+        Array.fold_left
+          (fun acc r ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+              match field "budget" r with
+              | Some (Json.Int b) -> Some b
+              | _ -> None))
+          None replies
+      in
+      let all_dedup =
+        Array.for_all (fun r -> field "dedup" r = Some (Json.Bool true)) replies
+      in
+      Ok
+        (Json.Obj
+           ((("op", Json.String "rebalance") :: churn_stats t)
+           @ (match budget_field with
+             | Some b -> [ ("budget", Json.Int b) ]
+             | None -> [])
+           @ [ ("moves_used", Json.Int (sum_int "moves_used")) ]
+           @ (if all_dedup then [ ("dedup", Json.Bool true) ] else [])))
   end
 
 let shard_stats_json t =

@@ -85,7 +85,17 @@ val arrive :
 
 val depart : t -> ?req:string -> ?shard_hint:int -> int -> Session.reply
 (** Route to the flow's remembered home shard ([shard_hint], then shard
-    0, for unknown flows — whose reply is the pre-shard no-op). *)
+    0, for unknown flows — whose reply is a ["conflict"] refusal). *)
+
+val rebalance : t -> ?req:string -> ?budget:int -> unit -> Session.reply
+(** Run one migration-budgeted rebalance pass ({!Session.rebalance}) on
+    {e every} shard — placements are per-shard, so each spends its own
+    budget locally and no cross-shard commit is needed.  The same [req]
+    reaches every shard (dedup tables are per-shard, making a retry
+    idempotent shard by shard).  1 shard: the session's reply verbatim.
+    Sharded: aggregated churn stats plus the resolved ["budget"] and the
+    summed ["moves_used"]; ["dedup": true] only when every shard
+    suppressed the retry. *)
 
 val solve :
   t -> algo:string -> k:int -> seed:int -> target:Protocol.solve_target ->

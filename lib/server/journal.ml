@@ -8,6 +8,7 @@ module Crc32 = Tdmd_prelude.Crc32
 type op =
   | Arrive of { id : int; rate : int; path : int list; req : string option }
   | Depart of { flow_id : int; req : string option }
+  | Rebalance of { budget : int; req : string option }
   | Cross_prepare of { xid : string; home : int; op : op }
   | Cross_done of { xid : string }
 
@@ -28,6 +29,10 @@ let rec op_to_json = function
   | Depart { flow_id; req } ->
     Json.Obj
       ([ ("op", Json.String "depart"); ("flow_id", Json.Int flow_id) ]
+      @ req_field req)
+  | Rebalance { budget; req } ->
+    Json.Obj
+      ([ ("op", Json.String "rebalance"); ("budget", Json.Int budget) ]
       @ req_field req)
   | Cross_prepare { xid; home; op } ->
     Json.Obj
@@ -81,6 +86,12 @@ let rec op_of_json json =
     let* flow_id = int_field json "flow_id" in
     let* req = req_of json in
     Ok (Depart { flow_id; req })
+  | Some (Json.String "rebalance") ->
+    let* budget = int_field json "budget" in
+    if budget < 0 then Error "journal record: rebalance budget must be >= 0"
+    else
+      let* req = req_of json in
+      Ok (Rebalance { budget; req })
   | Some (Json.String "cross-prepare") ->
     let* xid = string_field json "xid" in
     let* home = int_field json "home" in
@@ -92,6 +103,11 @@ let rec op_of_json json =
     (match op with
     | Cross_prepare _ | Cross_done _ ->
       Error "journal record: cross records do not nest"
+    | Rebalance _ ->
+      (* Rebalance is per-shard local (each shard spends its own budget
+         on its own placement), so it never rides the cross-shard
+         prepare path. *)
+      Error "journal record: rebalance cannot be cross-shard"
     | Arrive _ | Depart _ -> Ok (Cross_prepare { xid; home; op }))
   | Some (Json.String "cross-done") ->
     let* xid = string_field json "xid" in

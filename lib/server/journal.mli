@@ -27,6 +27,13 @@ type op =
   | Depart of { flow_id : int; req : string option }
       (** [req] is the client-supplied idempotency id, journaled so the
           dedup table survives a crash. *)
+  | Rebalance of { budget : int; req : string option }
+      (** A bounded local-search rebalance pass.  [budget] is the
+          {e resolved} move budget the live pass ran with (never the
+          engine default by reference), so replay spends exactly the
+          same moves regardless of how the engine is later configured.
+          Never nests inside {!Cross_prepare}: rebalancing is per-shard
+          local. *)
   | Cross_prepare of { xid : string; home : int; op : op }
       (** Coordinator journal only: a cross-shard op bound for shard
           [home], recorded durably before the shard applies it.  [xid]

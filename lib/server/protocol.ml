@@ -131,6 +131,7 @@ type request =
   | Solve of { algo : string; k : int; seed : int; target : solve_target }
   | Arrive of { id : int; rate : int; path : int list }
   | Depart of int
+  | Rebalance of { budget : int option }
   | Stats
   | Shutdown
 
@@ -176,6 +177,11 @@ let request_to_json ?id ?deadline_ms ?req ?shard_hint request =
             ] );
       ]
     | Depart id -> [ ("op", Json.String "depart"); ("flow_id", Json.Int id) ]
+    | Rebalance { budget } ->
+      ("op", Json.String "rebalance")
+      :: (match budget with
+         | Some b -> [ ("budget", Json.Int b) ]
+         | None -> [])
     | Stats -> [ ("op", Json.String "stats") ]
     | Shutdown -> [ ("op", Json.String "shutdown") ]
   in
@@ -250,6 +256,11 @@ let parse_request json =
   | "depart" ->
     let* id = int_field json "flow_id" in
     Ok (Depart id)
+  | "rebalance" -> (
+    match Json.member "budget" json with
+    | None -> Ok (Rebalance { budget = None })
+    | Some (Json.Int b) when b >= 0 -> Ok (Rebalance { budget = Some b })
+    | Some _ -> Error "rebalance: field \"budget\" must be a non-negative integer")
   | other -> Error (Printf.sprintf "unknown op %S" other)
 
 let request_of_json json =

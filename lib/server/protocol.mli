@@ -83,6 +83,10 @@ type request =
   | Solve of { algo : string; k : int; seed : int; target : solve_target }
   | Arrive of { id : int; rate : int; path : int list }
   | Depart of int
+  | Rebalance of { budget : int option }
+      (** one migration-budgeted rebalance pass; [budget] must be
+          [>= 0] and defaults to the server's configured migration
+          budget *)
   | Stats
   | Shutdown
 

@@ -111,6 +111,7 @@ let op_counter = function
   | Protocol.Solve _ -> "op_solve"
   | Protocol.Arrive _ -> "op_arrive"
   | Protocol.Depart _ -> "op_depart"
+  | Protocol.Rebalance _ -> "op_rebalance"
   | Protocol.Stats -> "op_stats"
   | Protocol.Shutdown -> "op_shutdown"
 
@@ -132,6 +133,11 @@ let execute t ?req ?shard_hint (request : Protocol.request) : Session.reply =
     | Error _ as e -> e)
   | Protocol.Depart id -> (
     match Engine.depart t.engine ?req ?shard_hint id with
+    | Ok (Json.Obj fields) -> Ok (Protocol.ok fields)
+    | Ok other -> Ok (Protocol.ok [ ("result", other) ])
+    | Error _ as e -> e)
+  | Protocol.Rebalance { budget } -> (
+    match Engine.rebalance t.engine ?req ?budget () with
     | Ok (Json.Obj fields) -> Ok (Protocol.ok fields)
     | Ok other -> Ok (Protocol.ok [ ("result", other) ])
     | Error _ as e -> e)
@@ -243,7 +249,7 @@ let reader t conn () =
             Atomic.set t.stop_flag true;
             loop ()
           | Protocol.Sleep _ | Protocol.Solve _ | Protocol.Arrive _
-          | Protocol.Depart _ ->
+          | Protocol.Depart _ | Protocol.Rebalance _ ->
             let enqueued_ns = Tdmd_obs.Clock.now_ns () in
             let job () = run_job t conn env ~enqueued_ns in
             if Tdmd_prelude.Parallel.Pool.submit t.pool job then begin

@@ -30,13 +30,20 @@ let default_dedup_cap = 8192
 module Config = struct
   type nonrec t = {
     churn_k : int;
+    migration_budget : int;
     dedup_cap : int;
     durability : durability option;
     dtel : Tdmd_obs.Telemetry.t option;
   }
 
   let default =
-    { churn_k = 8; dedup_cap = default_dedup_cap; durability = None; dtel = None }
+    {
+      churn_k = 8;
+      migration_budget = 0;
+      dedup_cap = default_dedup_cap;
+      durability = None;
+      dtel = None;
+    }
 end
 
 type durable = {
@@ -121,6 +128,15 @@ let snapshot_json t d =
             ("moves", Json.Int (Tdmd.Incremental.moves churn));
             ("arrivals", Json.Int (Tel.get_count ctel "arrivals"));
             ("departures", Json.Int (Tel.get_count ctel "departures"));
+            (* The rebalancing state must ride along: replaying the
+               journal only reproduces automatic rebalance passes under
+               the same migration budget.  Absent in pre-rebalance
+               snapshots; the parser defaults them to 0. *)
+            ( "migration_budget",
+              Json.Int (Tdmd.Incremental.migration_budget churn) );
+            ("rebalances", Json.Int (Tdmd.Incremental.rebalances churn));
+            ( "rebalance_moves",
+              Json.Int (Tdmd.Incremental.rebalance_moves churn) );
           ] );
       (* Insertion order, oldest first: recovery must rebuild the same
          eviction order, not just the same set. *)
@@ -137,6 +153,29 @@ let int_field json name =
   match Json.member name json with
   | Some (Json.Int i) -> Ok i
   | _ -> Error (Printf.sprintf "snapshot: bad field %S" name)
+
+(* Fields added after format-1 snapshots first shipped: absent means 0,
+   so pre-rebalance snapshots keep recovering. *)
+let opt_int_field json name =
+  match Json.member name json with
+  | Some (Json.Int i) -> Ok i
+  | None -> Ok 0
+  | Some _ -> Error (Printf.sprintf "snapshot: bad field %S" name)
+
+type snapshot_state = {
+  s_epoch : int;
+  s_k : int;
+  s_static : Tdmd.Instance.t;
+  s_flows : Tdmd_flow.Flow.t list;
+  s_placed : int list;
+  s_moves : int;
+  s_arrivals : int;
+  s_departures : int;
+  s_migration_budget : int;
+  s_rebalances : int;
+  s_rebalance_moves : int;
+  s_dedup : string list;
+}
 
 let parse_snapshot json =
   let* format = int_field json "format" in
@@ -195,6 +234,9 @@ let parse_snapshot json =
     let* moves = int_field live "moves" in
     let* arrivals = int_field live "arrivals" in
     let* departures = int_field live "departures" in
+    let* migration_budget = opt_int_field live "migration_budget" in
+    let* rebalances = opt_int_field live "rebalances" in
+    let* rebalance_moves = opt_int_field live "rebalance_moves" in
     let* dedup =
       match Json.member "dedup" json with
       | Some (Json.List vs) ->
@@ -208,7 +250,21 @@ let parse_snapshot json =
       | None -> Ok []
       | Some _ -> Error "snapshot: field \"dedup\" must be a list"
     in
-    Ok (epoch, k, static, flows, placed, moves, arrivals, departures, dedup)
+    Ok
+      {
+        s_epoch = epoch;
+        s_k = k;
+        s_static = static;
+        s_flows = flows;
+        s_placed = placed;
+        s_moves = moves;
+        s_arrivals = arrivals;
+        s_departures = departures;
+        s_migration_budget = migration_budget;
+        s_rebalances = rebalances;
+        s_rebalance_moves = rebalance_moves;
+        s_dedup = dedup;
+      }
   end
 
 (* Crash-safe snapshot write: tmp + fsync + rename + directory fsync.
@@ -282,11 +338,12 @@ let write_snapshot t d =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let make ?durable ~dtel ~dedup_cap ~churn_k tree general =
+let make ?durable ~dtel ~dedup_cap ~churn_k ~migration_budget tree general =
   if dedup_cap < 1 then invalid_arg "Session: dedup_cap must be >= 1";
   let churn =
-    Tdmd.Incremental.create ~graph:general.Tdmd.Instance.graph
-      ~lambda:general.Tdmd.Instance.lambda ~k:churn_k
+    Tdmd.Incremental.create ~migration_budget
+      ~graph:general.Tdmd.Instance.graph ~lambda:general.Tdmd.Instance.lambda
+      ~k:churn_k ()
   in
   {
     tree;
@@ -323,11 +380,14 @@ let build ~(config : Config.t) tree general =
     match config.Config.dtel with Some t -> t | None -> Tel.create ()
   in
   let dedup_cap = config.Config.dedup_cap and churn_k = config.Config.churn_k in
+  let migration_budget = config.Config.migration_budget in
   match config.Config.durability with
-  | None -> make ~dtel ~dedup_cap ~churn_k tree general
+  | None -> make ~dtel ~dedup_cap ~churn_k ~migration_budget tree general
   | Some cfg ->
     let d = init_durable ~dtel cfg in
-    let t = make ~durable:d ~dtel ~dedup_cap ~churn_k tree general in
+    let t =
+      make ~durable:d ~dtel ~dedup_cap ~churn_k ~migration_budget tree general
+    in
     (* Seed snapshot: from here on the directory is self-contained. *)
     locked t (fun () -> write_snapshot t d);
     t
@@ -340,7 +400,7 @@ let create_tree ?(config = Config.default) tree_inst =
 (* Pre-Config constructors, kept for one release as thin aliases. *)
 
 let config_of_sprawl ?durability ?(dedup_cap = default_dedup_cap) ~churn_k () =
-  { Config.churn_k; dedup_cap; durability; dtel = None }
+  { Config.churn_k; migration_budget = 0; dedup_cap; durability; dtel = None }
 
 let of_general ?durability ?dedup_cap ~churn_k inst =
   create ~config:(config_of_sprawl ?durability ?dedup_cap ~churn_k ()) inst
@@ -363,14 +423,27 @@ let read_file path =
 let apply_op churn = function
   | Journal.Arrive { id; rate; path; req = _ } ->
     Tdmd.Incremental.arrive churn (Tdmd_flow.Flow.make ~id ~rate ~path)
-  | Journal.Depart { flow_id; req = _ } -> Tdmd.Incremental.depart churn flow_id
+  | Journal.Depart { flow_id; req = _ } ->
+    (* Unknown departs are refused before they reach the journal, so a
+       live id is guaranteed here — except in journals written before
+       that check existed, whose phantom records replay as the no-op
+       they effectively were. *)
+    if Tdmd.Incremental.mem_flow churn flow_id then
+      Tdmd.Incremental.depart churn flow_id
+  | Journal.Rebalance { budget; req = _ } ->
+    (* The journalled budget is the resolved one, so replay spends
+       exactly the moves the original call did. *)
+    ignore (Tdmd.Incremental.rebalance ~budget churn)
   | Journal.Cross_prepare _ | Journal.Cross_done _ ->
     (* Coordinator records never land in a shard journal; treat one as
        the corruption it is rather than silently skipping it. *)
     invalid_arg "cross-shard record in a shard journal"
 
 let op_req = function
-  | Journal.Arrive { req; _ } | Journal.Depart { req; _ } -> req
+  | Journal.Arrive { req; _ }
+  | Journal.Depart { req; _ }
+  | Journal.Rebalance { req; _ } ->
+    req
   | Journal.Cross_prepare { xid; _ } | Journal.Cross_done { xid } -> Some xid
 
 let segment_epoch name =
@@ -411,14 +484,16 @@ let recover ?(dedup_cap = default_dedup_cap) cfg =
     | contents -> Json.of_string contents
     | exception Sys_error msg -> Error ("cannot read snapshot: " ^ msg)
   in
-  let* epoch, k, static, flows, placed, moves, arrivals, departures, dedup_keys =
-    parse_snapshot json
-  in
+  let* snap = parse_snapshot json in
+  let epoch = snap.s_epoch and static = snap.s_static in
   let* churn =
     match
-      Tdmd.Incremental.restore ~graph:static.Tdmd.Instance.graph
-        ~lambda:static.Tdmd.Instance.lambda ~k ~flows ~placed ~moves ~arrivals
-        ~departures
+      Tdmd.Incremental.restore ~migration_budget:snap.s_migration_budget
+        ~rebalances:snap.s_rebalances ~rebalance_moves:snap.s_rebalance_moves
+        ~graph:static.Tdmd.Instance.graph ~lambda:static.Tdmd.Instance.lambda
+        ~k:snap.s_k ~flows:snap.s_flows ~placed:snap.s_placed
+        ~moves:snap.s_moves ~arrivals:snap.s_arrivals
+        ~departures:snap.s_departures ()
     with
     | churn -> Ok churn
     | exception Invalid_argument msg -> Error ("snapshot state invalid: " ^ msg)
@@ -436,7 +511,7 @@ let recover ?(dedup_cap = default_dedup_cap) cfg =
   let dedup = Hashtbl.create 64 in
   let dedup_order = Queue.create () in
   let rememb = dedup_remember ~tel:dtel ~cap:dedup_cap dedup dedup_order in
-  List.iter rememb dedup_keys;
+  List.iter rememb snap.s_dedup;
   let* () =
     try
       List.iter
@@ -550,6 +625,8 @@ let churn_fields_unlocked t =
       Json.Int
         (Tdmd_obs.Telemetry.get_count (Tdmd.Incremental.telemetry t.churn)
            "departures") );
+    ("rebalances", Json.Int (Tdmd.Incremental.rebalances t.churn));
+    ("rebalance_moves", Json.Int (Tdmd.Incremental.rebalance_moves t.churn));
   ]
 
 let churn_stats t = locked t (fun () -> churn_fields_unlocked t)
@@ -565,6 +642,8 @@ type churn_summary = {
   moves : int;
   arrivals : int;
   departures : int;
+  rebalances : int;
+  rebalance_moves : int;
 }
 
 let churn_summary t =
@@ -578,6 +657,8 @@ let churn_summary t =
         moves = Tdmd.Incremental.moves t.churn;
         arrivals = Tel.get_count ctel "arrivals";
         departures = Tel.get_count ctel "departures";
+        rebalances = Tdmd.Incremental.rebalances t.churn;
+        rebalance_moves = Tdmd.Incremental.rebalance_moves t.churn;
       })
 
 (* Dedup check, WAL append, apply, snapshot — all under the session
@@ -598,6 +679,7 @@ let dedup_reply t ~op_name =
 type batch_op =
   | Batch_arrive of { req : string option; id : int; rate : int; path : int list }
   | Batch_depart of { req : string option; flow_id : int }
+  | Batch_rebalance of { req : string option; budget : int option }
 
 (* One op under the (held) session lock.  Group commit: the journal
    record is appended with [~flush:false]; the caller fires one
@@ -606,7 +688,7 @@ type batch_op =
    alongside the reply, so a failed batch-end flush can downgrade
    exactly the replies whose durability it lost. *)
 let journaled_unlocked t ~req ~op_name ~(op : unit -> Journal.op)
-    ~(apply : unit -> unit) =
+    ~(apply : unit -> (string * Json.t) list) =
   let appended =
     match t.durable with
     | Some d -> (
@@ -626,7 +708,9 @@ let journaled_unlocked t ~req ~op_name ~(op : unit -> Journal.op)
   match appended with
   | Error e -> (false, Error e)
   | Ok journaled ->
-    apply ();
+    (* [apply] returns op-specific reply fields (e.g. rebalance's
+       moves spent) appended after the shared churn fields. *)
+    let extra = apply () in
     (match req with Some r -> remember t r | None -> ());
     (match t.durable with
     | Some d ->
@@ -634,7 +718,11 @@ let journaled_unlocked t ~req ~op_name ~(op : unit -> Journal.op)
       if d.cfg.snapshot_every > 0 && d.since_snapshot >= d.cfg.snapshot_every
       then write_snapshot t d
     | None -> ());
-    (journaled, Ok (Json.Obj (("op", Json.String op_name) :: churn_fields_unlocked t)))
+    ( journaled,
+      Ok
+        (Json.Obj
+           ((("op", Json.String op_name) :: churn_fields_unlocked t) @ extra))
+    )
 
 let apply_one_unlocked t bop =
   match bop with
@@ -657,15 +745,47 @@ let apply_one_unlocked t bop =
           | Ok () ->
             journaled_unlocked t ~req ~op_name:"arrive"
               ~op:(fun () -> Journal.Arrive { id; rate; path; req })
-              ~apply:(fun () -> Tdmd.Incremental.arrive t.churn flow)
+              ~apply:(fun () ->
+                Tdmd.Incremental.arrive t.churn flow;
+                [])
         end))
   | Batch_depart { req; flow_id } -> (
     match req with
     | Some r when Hashtbl.mem t.dedup r -> (false, dedup_reply t ~op_name:"depart")
     | _ ->
-      journaled_unlocked t ~req ~op_name:"depart"
-        ~op:(fun () -> Journal.Depart { flow_id; req })
-        ~apply:(fun () -> Tdmd.Incremental.depart t.churn flow_id))
+      (* Unknown ids must be refused here, before the journal sees the
+         record: the engine treats them as a caller bug, and replay must
+         never encounter an op the live path would have raised on. *)
+      if not (Tdmd.Incremental.mem_flow t.churn flow_id) then
+        (false, Error ("conflict", Printf.sprintf "flow %d is not active" flow_id))
+      else
+        journaled_unlocked t ~req ~op_name:"depart"
+          ~op:(fun () -> Journal.Depart { flow_id; req })
+          ~apply:(fun () ->
+            Tdmd.Incremental.depart t.churn flow_id;
+            []))
+  | Batch_rebalance { req; budget } -> (
+    match budget with
+    | Some b when b < 0 ->
+      (false, Error ("bad-request", "rebalance: budget must be >= 0"))
+    | _ -> (
+      match req with
+      | Some r when Hashtbl.mem t.dedup r ->
+        (false, dedup_reply t ~op_name:"rebalance")
+      | _ ->
+        (* Journal the *resolved* budget: replay must spend exactly the
+           moves this call did even if the engine is later recovered
+           under a different default. *)
+        let b =
+          match budget with
+          | Some b -> b
+          | None -> Tdmd.Incremental.migration_budget t.churn
+        in
+        journaled_unlocked t ~req ~op_name:"rebalance"
+          ~op:(fun () -> Journal.Rebalance { budget = b; req })
+          ~apply:(fun () ->
+            let used = Tdmd.Incremental.rebalance ~budget:b t.churn in
+            [ ("budget", Json.Int b); ("moves_used", Json.Int used) ])))
 
 let apply_batch t ops =
   match ops with
@@ -699,6 +819,11 @@ let arrive t ?req ~id ~rate ~path () =
 
 let depart t ?req id =
   match apply_batch t [ Batch_depart { req; flow_id = id } ] with
+  | [ reply ] -> reply
+  | _ -> assert false
+
+let rebalance t ?req ?budget () =
+  match apply_batch t [ Batch_rebalance { req; budget } ] with
   | [ reply ] -> reply
   | _ -> assert false
 

@@ -67,6 +67,9 @@ val default_dedup_cap : int
 module Config : sig
   type t = {
     churn_k : int;  (** middlebox budget of the churn engine *)
+    migration_budget : int;
+        (** moves the rebalancer may spend after each churn event
+            (see {!Tdmd.Incremental.create}); 0 = pin-only *)
     dedup_cap : int;  (** >= 1; see {!default_dedup_cap} *)
     durability : durability option;  (** [None] = in-memory only *)
     dtel : Tdmd_obs.Telemetry.t option;
@@ -75,7 +78,8 @@ module Config : sig
   }
 
   val default : t
-  (** [churn_k = 8], [dedup_cap = default_dedup_cap], not durable. *)
+  (** [churn_k = 8], [migration_budget = 0],
+      [dedup_cap = default_dedup_cap], not durable. *)
 end
 
 val create : ?config:Config.t -> Tdmd.Instance.t -> t
@@ -152,14 +156,27 @@ val arrive : t -> ?req:string -> id:int -> rate:int -> path:int list -> unit -> 
     returns the current summary plus ["dedup": true]. *)
 
 val depart : t -> ?req:string -> int -> reply
-(** Feed one departure (unknown ids are a no-op, as in
-    {!Tdmd.Incremental.depart}).  [?req] as in {!arrive}. *)
+(** Feed one departure.  Unknown ids answer ["conflict"] {e before}
+    anything reaches the journal — the engine treats a phantom
+    departure as a caller bug ({!Tdmd.Incremental.depart} raises), so
+    the serve layer refuses it instead of silently counting it.
+    [?req] as in {!arrive}. *)
+
+val rebalance : t -> ?req:string -> ?budget:int -> unit -> reply
+(** Run one bounded local-search rebalance pass
+    ({!Tdmd.Incremental.rebalance}).  [budget] caps the moves this pass
+    may spend; it defaults to the engine's configured migration budget
+    and must be [>= 0] (["bad-request"] otherwise).  The {e resolved}
+    budget is journaled, so crash replay spends exactly the same moves.
+    Response adds ["budget"] and ["moves_used"] to the usual churn
+    summary.  [?req] as in {!arrive}. *)
 
 (** {1 Batched churn (group commit)} *)
 
 type batch_op =
   | Batch_arrive of { req : string option; id : int; rate : int; path : int list }
   | Batch_depart of { req : string option; flow_id : int }
+  | Batch_rebalance of { req : string option; budget : int option }
 
 val apply_batch : t -> batch_op list -> reply list
 (** Apply a batch of churn ops under {e one} lock acquisition and — when
@@ -191,6 +208,8 @@ type churn_summary = {
   moves : int;
   arrivals : int;
   departures : int;
+  rebalances : int;
+  rebalance_moves : int;
 }
 
 val churn_summary : t -> churn_summary
@@ -198,7 +217,8 @@ val churn_summary : t -> churn_summary
 
 val churn_stats : t -> (string * Protocol.Json.t) list
 (** ["flows"], ["placement"], ["bandwidth"], ["feasible"], ["moves"],
-    ["arrivals"], ["departures"] of the churn engine, under the lock. *)
+    ["arrivals"], ["departures"], ["rebalances"], ["rebalance_moves"]
+    of the churn engine, under the lock. *)
 
 val durability_stats : t -> (string * Protocol.Json.t) list
 (** A single ["durability"] field (empty list when the session is not

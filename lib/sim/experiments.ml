@@ -379,7 +379,7 @@ let ablation ?(seed = 18000) ?(reps = 5) () =
           in
           draw ())
     in
-    let inc = Tdmd.Incremental.create ~graph ~lambda:0.5 ~k in
+    let inc = Tdmd.Incremental.create ~graph ~lambda:0.5 ~k () in
     List.iter
       (fun (_, ev) ->
         (match ev with

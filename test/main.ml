@@ -23,6 +23,7 @@ let () =
       ("server", Test_server.suite);
       ("journal", Test_journal.suite);
       ("engine", Test_engine.suite);
+      ("churn", Test_churn.suite);
       ("experiments", Test_experiments.suite);
       ("lint", Test_lint.suite);
     ]

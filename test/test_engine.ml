@@ -29,6 +29,7 @@ end
 let mk_config ?durability ?(churn_k = 2) () =
   {
     Session.Config.churn_k;
+        Session.Config.migration_budget = 0;
     Session.Config.dedup_cap = Session.default_dedup_cap;
     Session.Config.durability;
     Session.Config.dtel = None;
@@ -241,8 +242,12 @@ let test_sharded_routing () =
   (* Departs route by the remembered assignment — no hint needed. *)
   let dep = expect_applied "depart" (Engine.depart engine ~req:"d1" 2) in
   Alcotest.(check int) "depart routed home" 0 (int_field "depart" "shard" dep);
-  (* Unknown flows fall back to shard 0's no-op reply. *)
-  ignore (expect_applied "unknown depart" (Engine.depart engine ~req:"d2" 999));
+  (* Unknown flows are refused before any shard journals anything. *)
+  (match Engine.depart engine ~req:"d2" 999 with
+  | Error ("conflict", _) -> ()
+  | r ->
+    Alcotest.failf "unknown depart: expected conflict, got %s"
+      (reply_to_string r));
   (* Live solve runs over the union of the shards' flows. *)
   ignore
     (expect_applied "live solve"
@@ -401,7 +406,7 @@ let test_cross_shard_replay () =
    req ids (the client retry protocol), and require the result to be
    bit-identical to an uninterrupted run. *)
 
-type wop = A of int * int * int list | D of int
+type wop = A of int * int * int list | D of int | DU of int | R of int
 
 (* On the default 2-shard partition of the 6-line, shard 0 owns
    {0, 1} and shard 1 owns {2, 3, 4, 5}; paths touching both sides are
@@ -413,16 +418,26 @@ let sharded_workload =
     A (3, 1, [ 1; 2; 3 ]);     (* cross *)
     D 2;
     A (4, 3, [ 0; 1; 2 ]);     (* cross, home 0 *)
-    D 9999;                    (* unknown id: journaled no-op *)
+    DU 9999;                   (* unknown id: refused, never journaled *)
+    R 3;                       (* rebalance: fans out to both shards *)
     A (5, 2, [ 2; 3 ]);        (* local to shard 1 *)
     D 1;
+    R 2;
   ]
 
 let apply_wop engine i wop =
   let req = Printf.sprintf "req-%d" i in
   match wop with
   | A (id, rate, path) -> Engine.arrive engine ~req ~id ~rate ~path ()
-  | D id -> Engine.depart engine ~req id
+  | D id | DU id -> Engine.depart engine ~req id
+  | R budget -> Engine.rebalance engine ~req ~budget ()
+
+(* [DU] ops expect the "conflict" refusal of an unknown depart. *)
+let expect_wop ctx wop reply =
+  match (wop, reply) with
+  | DU _, Error ("conflict", _) -> ()
+  | DU _, Ok _ -> Alcotest.failf "%s: unknown depart was accepted" ctx
+  | _, reply -> ignore (expect_applied ctx reply)
 
 let sharded_reference =
   lazy
@@ -431,8 +446,7 @@ let sharded_reference =
          (Engine.General (line_instance 6))
      in
      List.iteri
-       (fun i wop ->
-         ignore (expect_applied "reference" (apply_wop engine i wop)))
+       (fun i wop -> expect_wop "reference" wop (apply_wop engine i wop))
        sharded_workload;
      engine_fingerprint engine)
 
@@ -457,10 +471,10 @@ let crash_and_recover_sharded ~point ~nth ~snapshot_every =
     try
       List.iteri
         (fun i wop ->
-          ignore
-            (expect_applied
-               (Printf.sprintf "%s op %d" point i)
-               (apply_wop engine i wop)))
+          expect_wop
+            (Printf.sprintf "%s op %d" point i)
+            wop
+            (apply_wop engine i wop))
         sharded_workload
     with Faults.Crash _ -> ()));
   let clean = Session.durability ~snapshot_every dir in
@@ -469,10 +483,10 @@ let crash_and_recover_sharded ~point ~nth ~snapshot_every =
   | Ok recovered ->
     List.iteri
       (fun i wop ->
-        ignore
-          (expect_applied
-             (Printf.sprintf "%s:%d replay op %d" point nth i)
-             (apply_wop recovered i wop)))
+        expect_wop
+          (Printf.sprintf "%s:%d replay op %d" point nth i)
+          wop
+          (apply_wop recovered i wop))
       sharded_workload;
     let got = engine_fingerprint recovered in
     Engine.close recovered;

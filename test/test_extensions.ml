@@ -157,7 +157,7 @@ let chain_graph n =
 
 let test_incremental_basic () =
   let g = chain_graph 5 in
-  let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k:2 in
+  let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k:2 () in
   Alcotest.(check bool) "empty is feasible" true (Tdmd.Incremental.feasible t);
   Tdmd.Incremental.arrive t (Flow.make ~id:0 ~rate:4 ~path:[ 4; 3; 2; 1; 0 ]);
   Alcotest.(check bool) "served after arrival" true (Tdmd.Incremental.feasible t);
@@ -176,7 +176,7 @@ let test_incremental_basic () =
 
 let test_incremental_rejects () =
   let g = chain_graph 3 in
-  let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k:1 in
+  let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k:1 () in
   Tdmd.Incremental.arrive t (Flow.make ~id:0 ~rate:1 ~path:[ 2; 1; 0 ]);
   Alcotest.check_raises "duplicate id"
     (Invalid_argument "Incremental.arrive: duplicate flow id") (fun () ->
@@ -189,7 +189,7 @@ let prop_incremental_stays_feasible =
     (fun (seed, n) ->
       let rng = Rng.create seed in
       let g = Tdmd_topo.Topo_general.erdos_renyi rng n ~p:0.3 in
-      let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k:(max 2 (n / 3)) in
+      let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k:(max 2 (n / 3)) () in
       let next_id = ref 0 in
       let ok = ref true in
       for _ = 1 to 30 do
@@ -227,7 +227,7 @@ let test_incremental_quality_vs_scratch () =
   let rng = Rng.create 77 in
   let g = Tdmd_topo.Topo_general.erdos_renyi rng 12 ~p:0.3 in
   let k = 4 in
-  let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k in
+  let t = Tdmd.Incremental.create ~graph:g ~lambda:0.5 ~k () in
   let next_id = ref 0 in
   let worst_ratio = ref 1.0 in
   for _ = 1 to 25 do

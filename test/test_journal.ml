@@ -18,6 +18,7 @@ let session_of_general ?durability ?dedup_cap ~churn_k inst =
     ~config:
       {
         Session.Config.churn_k = churn_k;
+        Session.Config.migration_budget = 0;
         Session.Config.dedup_cap =
           Option.value dedup_cap ~default:Session.default_dedup_cap;
         Session.Config.durability = durability;
@@ -101,6 +102,9 @@ let op_gen =
       (let* flow_id = int_bound 100000 in
        let* req = req in
        return (Journal.Depart { flow_id; req }));
+      (let* budget = int_bound 100000 in
+       let* req = req in
+       return (Journal.Rebalance { budget; req }));
     ]
 
 let op_print op = Json.to_string (Journal.op_to_json op)
@@ -140,6 +144,7 @@ let sample_ops =
     Journal.Arrive { id = 2; rate = 1; path = [ 4; 3 ]; req = None };
     Journal.Arrive { id = 77; rate = 9; path = [ 5; 4; 3; 2; 1 ]; req = Some "b" };
     Journal.Depart { flow_id = 77; req = Some "c" };
+    Journal.Rebalance { budget = 4; req = Some "d" };
   ]
 
 let write_file path data =
@@ -399,7 +404,7 @@ let tiny_instance () =
     ~flows:[ Tdmd_flow.Flow.make ~id:1000 ~rate:2 ~path:[ 0; 1; 2; 3 ] ]
     ~lambda:0.5
 
-type wop = A of int * int * int list | D of int
+type wop = A of int * int * int list | D of int | DU of int | R of int
 
 let workload =
   [
@@ -408,20 +413,32 @@ let workload =
     A (3, 1, [ 2; 3; 4 ]);
     D 2;
     A (4, 3, [ 1; 2; 3; 4; 5 ]);
-    D 9999;  (* unknown id: journaled no-op *)
+    DU 9999;  (* unknown id: refused as a conflict, never journaled *)
+    R 3;  (* journaled with its resolved budget; replay re-runs it *)
     A (5, 2, [ 3; 2; 1 ]);
     D 1;
+    R 2;
   ]
 
 let apply_wop session i wop =
   let req = Printf.sprintf "req-%d" i in
   match wop with
   | A (id, rate, path) -> Session.arrive session ~req ~id ~rate ~path ()
-  | D id -> Session.depart session ~req id
+  | D id | DU id -> Session.depart session ~req id
+  | R budget -> Session.rebalance session ~req ~budget ()
 
 let expect_applied ctx = function
   | Ok _ -> ()
   | Error (code, msg) -> Alcotest.failf "%s: %s %s" ctx code msg
+
+(* [DU] ops flip the expectation: an unknown depart is refused
+   ("conflict") before the journal sees it, identically on every run
+   and replay. *)
+let expect_wop ctx wop reply =
+  match (wop, reply) with
+  | DU _, Error ("conflict", _) -> ()
+  | DU _, Ok _ -> Alcotest.failf "%s: unknown depart was accepted" ctx
+  | _, reply -> expect_applied ctx reply
 
 (* The externally observable state: churn summary + a live solve with a
    seeded algorithm.  Bit-identical recovery means this string matches. *)
@@ -454,7 +471,7 @@ let reference_fingerprint =
   lazy
     (let session = session_of_general ~churn_k:2 (tiny_instance ()) in
      List.iteri
-       (fun i wop -> expect_applied "reference" (apply_wop session i wop))
+       (fun i wop -> expect_wop "reference" wop (apply_wop session i wop))
        workload;
      fingerprint session)
 
@@ -481,7 +498,7 @@ let crash_and_recover ~point ~nth ~snapshot_every =
     try
       List.iteri
         (fun i wop ->
-          expect_applied (Printf.sprintf "%s op %d" point i)
+          expect_wop (Printf.sprintf "%s op %d" point i) wop
             (apply_wop session i wop))
         workload
     with Faults.Crash _ -> ()));
@@ -494,8 +511,9 @@ let crash_and_recover ~point ~nth ~snapshot_every =
   | Ok recovered ->
     List.iteri
       (fun i wop ->
-        expect_applied
+        expect_wop
           (Printf.sprintf "%s:%d replay op %d" point nth i)
+          wop
           (apply_wop recovered i wop))
       workload;
     let got = fingerprint recovered in
@@ -630,7 +648,7 @@ let test_recover_removes_orphans () =
         try
           List.iteri
             (fun i wop ->
-              expect_applied (point ^ " op") (apply_wop session i wop))
+              expect_wop (point ^ " op") wop (apply_wop session i wop))
             workload
         with Faults.Crash _ -> ()));
       let segments () =
@@ -659,7 +677,7 @@ let test_clean_restart_replays_nothing () =
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let cfg = Session.durability dir in
   let s = session_of_general ~durability:cfg ~churn_k:2 (tiny_instance ()) in
-  List.iteri (fun i wop -> expect_applied "clean" (apply_wop s i wop)) workload;
+  List.iteri (fun i wop -> expect_wop "clean" wop (apply_wop s i wop)) workload;
   let fp = fingerprint s in
   Session.close s;
   match Session.recover (Session.durability dir) with

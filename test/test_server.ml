@@ -19,6 +19,7 @@ let session_of_general ?durability ~churn_k inst =
     ~config:
       {
         Session.Config.churn_k = churn_k;
+        Session.Config.migration_budget = 0;
         Session.Config.dedup_cap = Session.default_dedup_cap;
         Session.Config.durability = durability;
         Session.Config.dtel = None;
@@ -30,6 +31,7 @@ let session_of_tree ~churn_k t =
     ~config:
       {
         Session.Config.churn_k = churn_k;
+        Session.Config.migration_budget = 0;
         Session.Config.dedup_cap = Session.default_dedup_cap;
         Session.Config.durability = None;
         Session.Config.dtel = None;
@@ -350,7 +352,11 @@ let test_churn_ops () =
         (List.length (int_list_field "live" "placement" live) <= 2);
       let departed = expect_ok "depart" (Client.rpc c (P.Depart 7)) in
       Alcotest.(check int) "flow gone" 0 (int_field "depart" "flows" departed);
-      ignore (expect_ok "depart unknown id is a no-op" (Client.rpc c (P.Depart 99)));
+      (* An unknown id is refused before anything reaches the journal:
+         the engine treats phantom departures as caller bugs. *)
+      ignore
+        (expect_error "depart unknown id is a conflict" "conflict"
+           (Client.rpc c (P.Depart 99)));
       let stats = expect_ok "stats" (Client.rpc c P.Stats) in
       (match Json.member "churn" stats with
       | Some churn ->
