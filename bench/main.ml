@@ -8,12 +8,18 @@
      dune exec bench/main.exe micro
      dune exec bench/main.exe solvers    # registry sweep -> BENCH_solvers.json
      dune exec bench/main.exe churn-timeline  # budget Pareto -> BENCH_churn.json
+     dune exec bench/main.exe portfolio  # quality vs budget -> BENCH_portfolio.json
      dune exec bench/main.exe ablation
 
    Absolute values depend on this synthetic substrate (see DESIGN.md §2);
    the paper-shape expectations are recorded in EXPERIMENTS.md. *)
 
 open Tdmd_sim
+
+(* The metaheuristic portfolio registers its solvers dynamically; pull
+   them in so the registry sweeps below see anneal/genetic/portfolio
+   next to the builtins. *)
+let () = Tdmd_portfolio.Register.install ()
 
 let reps = 5
 
@@ -215,15 +221,15 @@ let solvers () =
     (fun (name, f) ->
       bench_one ~input:"general" ~name ~k:kg (fun ~rng ~k ->
           f ~rng ~k general_inst))
-    Tdmd.Solvers.general;
+    (Tdmd.Solvers.general ());
   List.iter
     (fun (name, f) ->
       bench_one ~input:"tree" ~name ~k:kt (fun ~rng ~k -> f ~rng ~k tree_inst))
-    Tdmd.Solvers.tree;
+    (Tdmd.Solvers.tree ());
   close_out oc;
   Printf.printf "== solver registry sweep ==\n\nwrote %s (%d solvers)\n"
     solvers_json_path
-    (List.length Tdmd.Solvers.names)
+    (List.length (Tdmd.Solvers.names ()))
 
 (* ------------------------------------------------------------------ *)
 (* Oracle bench: naive full-rescan vs incremental decrement oracle     *)
@@ -1041,6 +1047,146 @@ let churn_bench () =
   if scratch_mean > pin_mean +. 1e-9 then
     failwith "churn bench: scratch GTP lost to pin-only"
 
+(* ------------------------------------------------------------------ *)
+(* Portfolio bench: solution quality vs step budget                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Races the anytime portfolio at a family of step budgets on one
+   general instance and sweeps the rest of the registry as the
+   reference, comparing on the exact-integer diminished volume.  The
+   anneal schedule is budget-independent (fixed half-life), so a larger
+   budget replays a smaller one's prefix and the curve must be
+   monotone; the run fails loudly if it is not, or if the full-budget
+   portfolio answers worse than the best reference solver.  JSON lines
+   go to BENCH_portfolio.json (overridable with
+   TDMD_BENCH_PORTFOLIO_JSON; TDMD_BENCH_PORTFOLIO_QUICK=1 shrinks the
+   instance and budget family for CI). *)
+let portfolio_json_path =
+  match Sys.getenv_opt "TDMD_BENCH_PORTFOLIO_JSON" with
+  | Some p -> p
+  | None -> "BENCH_portfolio.json"
+
+let portfolio_quick = Sys.getenv_opt "TDMD_BENCH_PORTFOLIO_QUICK" <> None
+
+let portfolio_bench () =
+  let open Tdmd_prelude in
+  let module Pf = Tdmd_portfolio.Portfolio in
+  print_endline "== portfolio bench: quality vs step budget ==\n";
+  let scenario =
+    if portfolio_quick then { Scenario.default_general with Scenario.size = 22 }
+    else { Scenario.default_general with Scenario.size = 40 }
+  in
+  let k = scenario.Scenario.k in
+  let inst = Scenario.build_general (Rng.create 4242) scenario in
+  let budgets =
+    if portfolio_quick then [ 50; 400 ] else [ 50; 200; 800; 3200; 12800 ]
+  in
+  let volume_of placement =
+    Tdmd.Inc_oracle.diminished_volume (Tdmd.Inc_oracle.of_list inst placement)
+  in
+  let oc = open_out portfolio_json_path in
+  let sink = Tdmd_obs.Sink.of_channel oc in
+  let base_fields =
+    [
+      ("vertices", Tdmd_obs.Json.Int scenario.Scenario.size);
+      ("k", Tdmd_obs.Json.Int k);
+      ("lambda", Tdmd_obs.Json.Float scenario.Scenario.lambda);
+    ]
+  in
+  (* Reference sweep: every registered general solver except the
+     portfolio's own members (and brute force, which cannot enumerate
+     at this size). *)
+  let excluded = [ "portfolio"; "anneal"; "genetic"; "brute" ] in
+  let reference =
+    List.filter_map
+      (fun (name, solve) ->
+        if List.mem name excluded then None
+        else begin
+          let o, seconds =
+            Timer.time (fun () -> solve ~rng:(Rng.create 1000) ~k inst)
+          in
+          let volume =
+            volume_of (Tdmd.Placement.to_list o.Tdmd.Solver_intf.placement)
+          in
+          Tdmd_obs.Sink.emit sink
+            (Tdmd_obs.Json.Obj
+               (("event", Tdmd_obs.Json.String "bench-portfolio-reference")
+                :: ("solver", Tdmd_obs.Json.String name)
+                :: ("volume", Tdmd_obs.Json.Int volume)
+                :: ( "bandwidth",
+                     Tdmd_obs.Json.Float o.Tdmd.Solver_intf.bandwidth )
+                :: ("feasible", Tdmd_obs.Json.Bool o.Tdmd.Solver_intf.feasible)
+                :: ("seconds", Tdmd_obs.Json.Float seconds)
+                :: base_fields));
+          if o.Tdmd.Solver_intf.feasible then Some (name, volume) else None
+        end)
+      (Tdmd.Solvers.general ())
+  in
+  let best_ref_name, best_ref =
+    List.fold_left
+      (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv))
+      ("none", min_int) reference
+  in
+  let table =
+    Table.create
+      [ "budget"; "volume"; "bandwidth"; "member"; "improvements"; "seconds" ]
+  in
+  let points =
+    List.map
+      (fun steps ->
+        let (best, improvements), seconds =
+          Timer.time (fun () ->
+              let t = Pf.start ~steps ~rng:(Rng.create 4242) ~k inst in
+              let b = Pf.await t in
+              (b, Pf.improvements t))
+        in
+        match best with
+        | None -> failwith "portfolio bench: no feasible answer published"
+        | Some b ->
+          Tdmd_obs.Sink.emit sink
+            (Tdmd_obs.Json.Obj
+               (("event", Tdmd_obs.Json.String "bench-portfolio")
+                :: ("budget_steps", Tdmd_obs.Json.Int steps)
+                :: ("volume", Tdmd_obs.Json.Int b.Pf.volume)
+                :: ("bandwidth", Tdmd_obs.Json.Float b.Pf.bandwidth)
+                :: ("member", Tdmd_obs.Json.String b.Pf.member)
+                :: ("improvements", Tdmd_obs.Json.Int improvements)
+                :: ("seconds", Tdmd_obs.Json.Float seconds)
+                :: base_fields));
+          Table.add_row table
+            [
+              string_of_int steps;
+              string_of_int b.Pf.volume;
+              Printf.sprintf "%.2f" b.Pf.bandwidth;
+              b.Pf.member;
+              string_of_int improvements;
+              Printf.sprintf "%.3f" seconds;
+            ];
+          (steps, b.Pf.volume))
+      budgets
+  in
+  close_out oc;
+  Table.print table;
+  Printf.printf "\nbest reference: %s (volume %d)\nwrote %s (%d budgets, %d references)\n"
+    best_ref_name best_ref portfolio_json_path (List.length budgets)
+    (List.length reference);
+  ignore
+    (List.fold_left
+       (fun prev (steps, v) ->
+         if v < prev then
+           failwith
+             (Printf.sprintf
+                "portfolio bench: volume worsened at budget %d (%d < %d)" steps
+                v prev);
+         v)
+       min_int points);
+  let _, full = List.nth points (List.length points - 1) in
+  if full < best_ref then
+    failwith
+      (Printf.sprintf
+         "portfolio bench: full budget (volume %d) lost to %s (volume %d)"
+         full best_ref_name best_ref)
+
 let run_all () =
   List.iter
     (fun (id, f) ->
@@ -1061,6 +1207,8 @@ let run_all () =
   print_newline ();
   churn_bench ();
   print_newline ();
+  portfolio_bench ();
+  print_newline ();
   ablation ()
 
 let () =
@@ -1072,16 +1220,17 @@ let () =
   | [| _; "serve" |] -> serve_bench ()
   | [| _; "recover" |] -> recover_bench ()
   | [| _; "churn-timeline" |] -> churn_bench ()
+  | [| _; "portfolio" |] -> portfolio_bench ()
   | [| _; "ablation" |] -> ablation ()
   | [| _; fig |] -> (
     match List.assoc_opt fig line_figures with
     | Some f -> f ()
     | None ->
       Printf.eprintf
-        "unknown target %s (expected fig8..fig17, micro, solvers, oracle, serve, recover, churn-timeline, ablation)\n"
+        "unknown target %s (expected fig8..fig17, micro, solvers, oracle, serve, recover, churn-timeline, portfolio, ablation)\n"
         fig;
       exit 1)
   | _ ->
     Printf.eprintf
-      "usage: main.exe [fig8..fig17|micro|solvers|oracle|serve|recover|churn-timeline|ablation]\n";
+      "usage: main.exe [fig8..fig17|micro|solvers|oracle|serve|recover|churn-timeline|portfolio|ablation]\n";
     exit 1

@@ -12,6 +12,10 @@
 open Cmdliner
 open Tdmd_prelude
 
+(* Bring the portfolio's registry entries (portfolio / anneal / genetic)
+   in before any [--algo] list or validation is built. *)
+let () = Tdmd_portfolio.Register.install ()
+
 type topology = Tree | General | Fattree
 
 let topology_conv =
@@ -31,7 +35,7 @@ let topology_conv =
    at parse time so typos fail before an instance is generated. *)
 let algo_conv =
   let parse s =
-    if List.mem s Tdmd.Solvers.names then Ok s
+    if List.mem s (Tdmd.Solvers.names ()) then Ok s
     else Error (`Msg (Tdmd.Solvers.describe_unknown ~tree_input:true s))
   in
   Arg.conv (parse, Format.pp_print_string)
@@ -48,7 +52,7 @@ let algo_arg =
   Arg.(
     value
     & opt algo_conv "gtp"
-    & info [ "algo"; "a" ] ~doc:(String.concat " | " Tdmd.Solvers.names))
+    & info [ "algo"; "a" ] ~doc:(String.concat " | " (Tdmd.Solvers.names ())))
 
 let trace_arg =
   Arg.(
@@ -445,7 +449,7 @@ let serve_cmd =
       value
       & opt (some int) None
       & info [ "deadline-ms" ]
-          ~doc:"Default queueing deadline for requests that carry none")
+          ~doc:"Default deadline for requests that carry none (solves answer anytime within it)")
   in
   let churn_k_arg =
     Arg.(value & opt int 8 & info [ "churn-k" ] ~doc:"Middlebox budget of the churn engine")
@@ -607,7 +611,7 @@ let client_cmd =
     Arg.(
       value
       & opt (some int) None
-      & info [ "deadline-ms" ] ~doc:"Per-request queueing deadline")
+      & info [ "deadline-ms" ] ~doc:"Per-request deadline (a deadlined solve answers anytime)")
   in
   let req_id_arg =
     Arg.(

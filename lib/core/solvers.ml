@@ -218,20 +218,41 @@ let tree_modules : (module Solver_intf.TREE) list =
     (module Scaled_dp_solver);
   ]
 
-let general : (string * general_solver) list =
+let builtin_general : (string * general_solver) list =
   List.map
     (fun (module S : Solver_intf.GENERAL) ->
       (S.name, fun ~rng ~k inst -> S.solve ~rng ~k inst))
     general_modules
 
-let tree : (string * tree_solver) list =
+let builtin_tree : (string * tree_solver) list =
   List.map
     (fun (module S : Solver_intf.TREE) ->
       (S.name, fun ~rng ~k inst -> S.solve ~rng ~k inst))
     tree_modules
 
-let find_general name = List.assoc_opt name general
-let find_tree name = List.assoc_opt name tree
+(* Extension point for solvers living in libraries that depend on this
+   one (tdmd.portfolio's metaheuristics register here).  Registration is
+   a start-up-time act — module initialisation or an explicit install
+   call — before any concurrent use, so a plain ref suffices. *)
+let extra_general : (string * general_solver) list ref = ref []
+
+let register_general name solve =
+  if
+    List.mem_assoc name builtin_general
+    || List.mem_assoc name builtin_tree
+    || List.mem_assoc name !extra_general
+  then invalid_arg ("Solvers.register_general: duplicate name " ^ name);
+  extra_general := !extra_general @ [ (name, solve) ]
+
+let general () = builtin_general @ !extra_general
+let tree () = builtin_tree
+
+let find_general name =
+  match List.assoc_opt name builtin_general with
+  | Some _ as hit -> hit
+  | None -> List.assoc_opt name !extra_general
+
+let find_tree name = List.assoc_opt name builtin_tree
 
 let on_tree name =
   match find_tree name with
@@ -240,18 +261,18 @@ let on_tree name =
     find_general name
     |> Option.map (fun f ~rng ~k inst -> f ~rng ~k (Instance.Tree.to_general inst))
 
-let general_names = List.map fst general
-let tree_names = List.map fst tree
-let names = general_names @ tree_names
+let general_names () = List.map fst (general ())
+let tree_names () = List.map fst (tree ())
+let names () = general_names () @ tree_names ()
 
 let describe_unknown ?(tree_input = false) name =
-  if (not tree_input) && List.mem name tree_names then
+  if (not tree_input) && List.mem name (tree_names ()) then
     Printf.sprintf
       "%S solves tree instances only (run it against a tree topology); \
        solvers available here: %s"
       name
-      (String.concat " | " general_names)
+      (String.concat " | " (general_names ()))
   else
     Printf.sprintf "unknown algorithm %S (general: %s; tree-only: %s)" name
-      (String.concat " | " general_names)
-      (String.concat " | " tree_names)
+      (String.concat " | " (general_names ()))
+      (String.concat " | " (tree_names ()))

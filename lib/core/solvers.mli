@@ -25,7 +25,13 @@
     - ["dp"]           — optimal tree DP (Sec. 5.1)
     - ["dp-binary"]    — Eqs. 7–10 transcription (binary trees only)
     - ["hat"]          — leaf-merge heuristic (Alg. 2)
-    - ["scaled-dp"]    — rate-quantised DP at θ = 4 *)
+    - ["scaled-dp"]    — rate-quantised DP at θ = 4
+
+    Libraries layered above this one extend the general table at
+    start-up through {!register_general} — [Tdmd_portfolio.Register]
+    contributes ["anneal"], ["genetic"] and ["portfolio"] this way —
+    so the listing functions below are functions of [unit], not
+    values. *)
 
 type general_solver =
   rng:Tdmd_prelude.Rng.t -> k:int -> Instance.t -> Solver_intf.outcome
@@ -33,12 +39,22 @@ type general_solver =
 type tree_solver =
   rng:Tdmd_prelude.Rng.t -> k:int -> Instance.Tree.t -> Solver_intf.outcome
 
-val general : (string * general_solver) list
-val tree : (string * tree_solver) list
+val general : unit -> (string * general_solver) list
+(** Built-in general solvers followed by {!register_general} extras in
+    registration order. *)
+
+val tree : unit -> (string * tree_solver) list
+
+val register_general : string -> general_solver -> unit
+(** Extend the general table with a dynamically provided solver.  Call
+    at start-up, before any concurrent registry use (the table is a
+    plain ref, deliberately unsynchronised).
+    @raise Invalid_argument when [name] is already registered, in any
+    table — a collision would make {!on_tree} dispatch ambiguous. *)
 
 val general_modules : (module Solver_intf.GENERAL) list
 val tree_modules : (module Solver_intf.TREE) list
-(** The same solvers as first-class {!Solver_intf.SOLVER} modules. *)
+(** The built-in solvers as first-class {!Solver_intf.SOLVER} modules. *)
 
 val find_general : string -> general_solver option
 val find_tree : string -> tree_solver option
@@ -48,12 +64,12 @@ val on_tree : string -> tree_solver option
     general solver through {!Instance.Tree.to_general} — every
     registered solver can score a tree instance. *)
 
-val names : string list
+val names : unit -> string list
 (** All registry names: tree-only solvers last, as in [--algo]'s
     documentation. *)
 
-val general_names : string list
-val tree_names : string list
+val general_names : unit -> string list
+val tree_names : unit -> string list
 
 val describe_unknown : ?tree_input:bool -> string -> string
 (** Diagnostic for a name that failed to resolve, listing what the

@@ -1,0 +1,30 @@
+(** Simulated annealing over placements.
+
+    The walk moves by add / drop / swap of middlebox vertices, each
+    probed through {!Tdmd.Inc_oracle}'s journal (apply, score, [undo] on
+    reject) so a step costs O(flows-through-vertex), not a re-solve.
+    Acceptance is Metropolis on the {e exact-integer} diminished-volume
+    delta with geometric cooling; floats enter only the accept draw.
+    The temperature is a function of the absolute step index (fixed
+    half-life, floored), not of the total budget, so a run at a larger
+    [steps] replays a smaller run's draws exactly — best-so-far is
+    monotone in the step budget.
+    Infeasible intermediate states are explored but never reported —
+    {!Tdmd.Cover_fixup.within} periodically repairs the walk, and only
+    feasible strict improvements reach [on_best]. *)
+
+val run :
+  rng:Tdmd_prelude.Rng.t ->
+  k:int ->
+  steps:int ->
+  ?init:int list ->
+  ?should_stop:(unit -> bool) ->
+  ?on_best:(volume:int -> placement:int list -> unit) ->
+  Tdmd.Instance.t ->
+  Search.result
+(** [run ~rng ~k ~steps inst] anneals for at most [steps] moves from
+    [?init] (default: the greedy cover), polling [should_stop] before
+    each move for cooperative cancellation.  [on_best] fires on every
+    strict feasible improvement with the new best volume and sorted
+    placement.  Deterministic for a fixed [(rng seed, k, steps, init)]:
+    the rng draw sequence depends only on the walk itself. *)

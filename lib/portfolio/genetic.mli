@@ -1,0 +1,26 @@
+(** Steady-state genetic search over placements.
+
+    A population of [12] placements (the greedy cover plus random
+    repaired subsets) evolves one child per step: tournament-2 parent
+    selection, uniform crossover over the parents' union, a 1-in-4
+    vertex-toggle mutation, budget clamping, and feasibility repair
+    through {!Tdmd.Cover_fixup.within}.  Each child is scored on the
+    {e exact-integer} diminished volume via a scratch
+    {!Tdmd.Inc_oracle} and replaces the current worst individual only
+    when strictly fitter — ties broken lexicographically, so evolution
+    is deterministic for a fixed seed. *)
+
+val run :
+  rng:Tdmd_prelude.Rng.t ->
+  k:int ->
+  steps:int ->
+  ?init:int list ->
+  ?should_stop:(unit -> bool) ->
+  ?on_best:(volume:int -> placement:int list -> unit) ->
+  Tdmd.Instance.t ->
+  Search.result
+(** [run ~rng ~k ~steps inst] evolves for at most [steps] children from
+    a population seeded with [?init] (default: the greedy cover),
+    polling [should_stop] before each step.  [on_best] fires on every
+    strict feasible improvement.  Same determinism contract as
+    {!Anneal.run}. *)

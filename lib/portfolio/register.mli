@@ -1,0 +1,15 @@
+(** Registry hookup for the portfolio solvers. *)
+
+val install : unit -> unit
+(** Register ["anneal"], ["genetic"] and ["portfolio"] in
+    {!Tdmd.Solvers} (via {!Tdmd.Solvers.register_general}) with fixed
+    step budgets, making them reachable from [--algo], the serve layer
+    and the bench sweep.  Idempotent; call once at start-up.  The
+    serving layer ([Tdmd_server.Session]) installs on module
+    initialisation, so any program linking [tdmd.server] gets the names
+    for free. *)
+
+val anneal_solver : Tdmd.Solvers.general_solver
+val genetic_solver : Tdmd.Solvers.general_solver
+val portfolio_solver : Tdmd.Solvers.general_solver
+(** The registered entries, exposed for direct calls and tests. *)

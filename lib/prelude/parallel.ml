@@ -47,9 +47,20 @@ module Pool = struct
     nonempty : Condition.t;
     capacity : int;
     on_error : exn -> unit;
+    cancelled : bool Atomic.t;
     mutable accepting : bool;
     mutable workers : unit Domain.t list;
   }
+
+  (* Process-wide because a server may own several pools (engine workers,
+     portfolio members) and its stats endpoint wants one number. *)
+  let errors = Atomic.make 0
+  let job_errors () = Atomic.get errors
+
+  let default_on_error e =
+    Atomic.incr errors;
+    (* tdmd-lint: allow no-direct-io — crashed jobs must leave a trace even with no telemetry sink wired up *)
+    Printf.eprintf "tdmd pool: job raised %s\n%!" (Printexc.to_string e)
 
   let worker t () =
     let rec loop () =
@@ -70,7 +81,7 @@ module Pool = struct
     in
     loop ()
 
-  let create ?(on_error = fun _ -> ()) ~domains ~capacity () =
+  let create ?(on_error = default_on_error) ~domains ~capacity () =
     if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
     if capacity < 1 then invalid_arg "Pool.create: capacity must be >= 1";
     let t =
@@ -80,6 +91,7 @@ module Pool = struct
         nonempty = Condition.create ();
         capacity;
         on_error;
+        cancelled = Atomic.make false;
         accepting = true;
         workers = [];
       }
@@ -98,6 +110,15 @@ module Pool = struct
 
   let queue_depth t =
     Locked.with_lock t.mutex (fun () -> Queue.length t.jobs)
+
+  let cancel t =
+    Atomic.set t.cancelled true;
+    Locked.with_lock t.mutex (fun () ->
+        t.accepting <- false;
+        Queue.clear t.jobs;
+        Condition.broadcast t.nonempty)
+
+  let cancelling t = Atomic.get t.cancelled
 
   let shutdown t =
     Locked.with_lock t.mutex (fun () ->

@@ -29,7 +29,9 @@ val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
     backpressure signal ([tdmd.server] turns it into a 503-style
     response).  Jobs are [unit -> unit] thunks and must do their own
     result delivery; exceptions escaping a job are routed to the pool's
-    [on_error] callback (default: swallowed) and never kill a worker. *)
+    [on_error] callback and never kill a worker.  The default callback
+    bumps the process-wide {!Pool.job_errors} counter and writes one
+    stderr line — a silently swallowed job crash is never the default. *)
 module Pool : sig
   type t
 
@@ -47,7 +49,23 @@ module Pool : sig
   val queue_depth : t -> int
   (** Jobs enqueued and not yet picked up by a worker. *)
 
+  val cancel : t -> unit
+  (** Cooperative cancellation: stop accepting, discard jobs still
+      queued, and raise the {!cancelling} flag that long-running jobs
+      are expected to poll.  Does {e not} join the workers — follow up
+      with {!shutdown} to wait for in-flight jobs to notice the flag
+      and return.  Idempotent. *)
+
+  val cancelling : t -> bool
+  (** True once {!cancel} has been called.  Cheap (one [Atomic.get]);
+      long-running jobs poll it between steps and return early. *)
+
   val shutdown : t -> unit
   (** Graceful drain: stop accepting, let workers finish every job
       already queued, then join them.  Idempotent. *)
+
+  val job_errors : unit -> int
+  (** Process-wide count of job exceptions routed to the {e default}
+      [on_error] (custom callbacks do their own accounting).  Exposed
+      in [tdmd serve] stats as [pool_job_errors]. *)
 end

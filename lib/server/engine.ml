@@ -409,6 +409,18 @@ let solve t ~algo ~k ~seed ~target =
     | inst -> Session.solve_on_instance ~algo ~k ~seed ~target inst
     | exception Invalid_argument msg -> Error ("internal", msg))
 
+let solve_anytime t ~algo ~k ~seed ~target ~budget_ms =
+  match (target, Array.length t.shards) with
+  | _, 1 | Protocol.Static, _ ->
+    Session.solve_anytime
+      (Shard.session t.shards.(0))
+      ~algo ~k ~seed ~target ~budget_ms
+  | Protocol.Live, _ -> (
+    match combined_live_instance t with
+    | inst ->
+      Session.solve_anytime_on_instance ~algo ~k ~seed ~target ~budget_ms inst
+    | exception Invalid_argument msg -> Error ("internal", msg))
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)

@@ -105,6 +105,19 @@ val solve :
     [Live] solve runs the general-registry solver over the union of all
     shards' flows in shard-major order. *)
 
+val solve_anytime :
+  t ->
+  algo:string ->
+  k:int ->
+  seed:int ->
+  target:Protocol.solve_target ->
+  budget_ms:int ->
+  Session.reply
+(** Deadline-bounded variant, routed exactly like {!solve} (shard 0 /
+    live union) but through {!Session.solve_anytime}: a portfolio race
+    answers with the best feasible placement found within [budget_ms]
+    instead of a deadline error. *)
+
 (** {1 Stats and shutdown} *)
 
 val churn_stats : t -> (string * Protocol.Json.t) list

@@ -9,10 +9,13 @@
 
     Requests are objects with an ["op"] field plus op-specific
     arguments and three optional envelope fields: ["id"] (any JSON
-    value, echoed verbatim in the response), ["deadline_ms"] (queueing
-    budget; requests still waiting when it expires are answered with a
-    ["deadline"] error instead of being executed) and ["req"] (a
-    non-empty idempotency string under which mutating ops are
+    value, echoed verbatim in the response), ["deadline_ms"] (time
+    budget; most requests still waiting in queue when it expires are
+    answered with a ["deadline"] error instead of being executed, but a
+    deadlined [solve] becomes an {e anytime} solve — the remaining
+    budget is spent racing a solver portfolio and the best placement
+    found so far is returned, flagged ["anytime": true]) and ["req"]
+    (a non-empty idempotency string under which mutating ops are
     deduplicated server-side).
 
     Responses are objects with ["ok": true] and op-specific fields, or
@@ -127,7 +130,8 @@ val error : ?id:Json.t -> code:string -> string -> Json.t
     use: ["bad-request"] (unparseable frame / unknown op / invalid
     arguments), ["unknown-algo"] (name not in the registry; the message
     lists the registry), ["overloaded"] (bounded queue full — retry
-    later), ["deadline"] (queueing budget expired before execution),
+    later), ["deadline"] (queueing budget expired before execution —
+    never emitted for [solve], which answers anytime instead),
     ["shutting-down"] (server is draining), ["conflict"] (e.g.
     duplicate flow id), ["redirect"] (see {!redirect}). *)
 

@@ -92,6 +92,8 @@ let stats_fields t =
     ("bad_requests", counter "bad_requests");
     ("errors", counter "errors");
     ("queue_depth", Json.Int (Tdmd_prelude.Parallel.Pool.queue_depth t.pool));
+    ("anytime_solves", counter "anytime_solves");
+    ("pool_job_errors", Json.Int (Tdmd_prelude.Parallel.Pool.job_errors ()));
     ("latency_p50_ms", pct 0.50);
     ("latency_p95_ms", pct 0.95);
     ("latency_p99_ms", pct 0.99);
@@ -161,9 +163,20 @@ let run_job t conn (env : Protocol.envelope) ~enqueued_ns =
     | None -> t.cfg.default_deadline_ms
   in
   let waited_ns = Int64.sub (Tdmd_obs.Clock.now_ns ()) enqueued_ns in
+  let waited_ms = Int64.to_float waited_ns /. 1e6 in
+  (* A deadlined Solve is never expired away: whatever budget survived
+     the queue wait goes to an anytime portfolio race, which always has
+     at least the greedy-cover answer in hand.  Every other op keeps
+     the queueing-budget semantics. *)
+  let anytime_budget =
+    match (env.Protocol.request, deadline_ms) with
+    | Protocol.Solve _, Some d ->
+      Some (max 0 (d - int_of_float waited_ms))
+    | _ -> None
+  in
   let expired =
     match deadline_ms with
-    | Some d -> Int64.to_float waited_ns /. 1e6 > float_of_int d
+    | Some d -> Option.is_none anytime_budget && waited_ms > float_of_int d
     | None -> false
   in
   if expired then begin
@@ -177,8 +190,18 @@ let run_job t conn (env : Protocol.envelope) ~enqueued_ns =
   else begin
     let result =
       try
-        execute t ?req:env.Protocol.req ?shard_hint:env.Protocol.shard_hint
-          env.Protocol.request
+        match (env.Protocol.request, anytime_budget) with
+        | Protocol.Solve { algo; k; seed; target }, Some budget_ms -> (
+          count t "anytime_solves" 1;
+          match
+            Engine.solve_anytime t.engine ~algo ~k ~seed ~target ~budget_ms
+          with
+          | Ok (Json.Obj fields) -> Ok (Protocol.ok fields)
+          | Ok other -> Ok (Protocol.ok [ ("result", other) ])
+          | Error _ as e -> e)
+        | _ ->
+          execute t ?req:env.Protocol.req ?shard_hint:env.Protocol.shard_hint
+            env.Protocol.request
       with
       | Faults.Crash point ->
         (* A planned crash must take the whole process down as abruptly

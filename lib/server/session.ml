@@ -1,6 +1,11 @@
 module Json = Tdmd_obs.Json
 module Tel = Tdmd_obs.Telemetry
 
+(* Linking the serving layer brings the portfolio names (portfolio /
+   anneal / genetic) into the registry: anytime solves depend on them
+   and the registry tables are consulted before any request runs. *)
+let () = Tdmd_portfolio.Register.install ()
+
 (* ------------------------------------------------------------------ *)
 (* Durability configuration                                            *)
 (* ------------------------------------------------------------------ *)
@@ -397,19 +402,6 @@ let create ?(config = Config.default) inst = build ~config None inst
 let create_tree ?(config = Config.default) tree_inst =
   build ~config (Some tree_inst) (Tdmd.Instance.Tree.to_general tree_inst)
 
-(* Pre-Config constructors, kept for one release as thin aliases. *)
-
-let config_of_sprawl ?durability ?(dedup_cap = default_dedup_cap) ~churn_k () =
-  { Config.churn_k; migration_budget = 0; dedup_cap; durability; dtel = None }
-
-let of_general ?durability ?dedup_cap ~churn_k inst =
-  create ~config:(config_of_sprawl ?durability ?dedup_cap ~churn_k ()) inst
-
-let of_tree ?durability ?dedup_cap ~churn_k tree_inst =
-  create_tree
-    ~config:(config_of_sprawl ?durability ?dedup_cap ~churn_k ())
-    tree_inst
-
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -602,6 +594,72 @@ let solve t ~algo ~k ~seed ~target =
     | outcome -> Ok (Json.Obj (outcome_fields ~algo ~k ~seed ~target outcome))
     | exception Invalid_argument msg -> Error ("bad-request", msg)
     | exception Failure msg -> Error ("bad-request", msg))
+
+(* ------------------------------------------------------------------ *)
+(* Anytime solves (deadline-bounded portfolio race)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Any registry name becomes an anytime request: the three portfolio
+   names select their members directly, any other known solver races as
+   a restart-wrapped seed against the two metaheuristics. *)
+let anytime_members ~has_tree algo =
+  match algo with
+  | "portfolio" -> Ok Tdmd_portfolio.Portfolio.default_members
+  | "anneal" -> Ok [ Tdmd_portfolio.Portfolio.Anneal ]
+  | "genetic" -> Ok [ Tdmd_portfolio.Portfolio.Genetic ]
+  | _ ->
+    if
+      Option.is_some (Tdmd.Solvers.find_general algo)
+      || (has_tree && Option.is_some (Tdmd.Solvers.find_tree algo))
+    then
+      Ok
+        [
+          Tdmd_portfolio.Portfolio.Seed algo;
+          Tdmd_portfolio.Portfolio.Anneal;
+          Tdmd_portfolio.Portfolio.Genetic;
+        ]
+    else Error (Tdmd.Solvers.describe_unknown ~tree_input:has_tree algo)
+
+let solve_anytime_on_instance ?tree ~algo ~k ~seed ~target ~budget_ms inst =
+  match anytime_members ~has_tree:(Option.is_some tree) algo with
+  | Error msg -> Error ("unknown-algo", msg)
+  | Ok members -> (
+    let run () =
+      let rng = Tdmd_prelude.Rng.create seed in
+      let t = Tdmd_portfolio.Portfolio.start ~members ?tree ~rng ~k inst in
+      let best =
+        Tdmd_portfolio.Portfolio.await ~deadline_ms:budget_ms t
+      in
+      let outcome = Tdmd_portfolio.Portfolio.outcome_of t best in
+      Json.Obj
+        (outcome_fields ~algo ~k ~seed ~target outcome
+        @ [
+            ("anytime", Json.Bool true);
+            ("budget_ms", Json.Int budget_ms);
+            ( "member",
+              Json.String
+                (match best with
+                | Some b -> b.Tdmd_portfolio.Portfolio.member
+                | None -> "fallback") );
+            ( "improvements",
+              Json.Int (Tdmd_portfolio.Portfolio.improvements t) );
+          ])
+    in
+    match run () with
+    | obj -> Ok obj
+    | exception Invalid_argument msg -> Error ("bad-request", msg)
+    | exception Failure msg -> Error ("bad-request", msg))
+
+let solve_anytime t ~algo ~k ~seed ~target ~budget_ms =
+  match target with
+  | Protocol.Static ->
+    solve_anytime_on_instance ?tree:t.tree ~algo ~k ~seed ~target ~budget_ms
+      t.general
+  | Protocol.Live ->
+    (* Snapshot under the lock, race outside it — same discipline as
+       the run-to-completion path. *)
+    let snapshot = locked t (fun () -> Tdmd.Incremental.instance t.churn) in
+    solve_anytime_on_instance ~algo ~k ~seed ~target ~budget_ms snapshot
 
 (* ------------------------------------------------------------------ *)
 (* Churn (journaled when durable)                                      *)

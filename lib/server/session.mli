@@ -97,19 +97,6 @@ val create_tree : ?config:Config.t -> Tdmd.Instance.Tree.t -> t
     snapshot codec stores the general view only, so {!recover} of a
     tree session serves it as a general session. *)
 
-val of_general :
-  ?durability:durability -> ?dedup_cap:int -> churn_k:int -> Tdmd.Instance.t -> t
-  [@@ocaml.deprecated "use Session.create with a Session.Config.t"]
-(** Pre-{!Config} constructor, kept for one release: exactly
-    [create ~config:{...}]. *)
-
-val of_tree :
-  ?durability:durability -> ?dedup_cap:int -> churn_k:int ->
-  Tdmd.Instance.Tree.t -> t
-  [@@ocaml.deprecated "use Session.create_tree with a Session.Config.t"]
-(** Pre-{!Config} constructor, kept for one release: exactly
-    [create_tree ~config:{...}]. *)
-
 val recover : ?dedup_cap:int -> durability -> (t, string) result
 (** Rebuild a session from [cfg.dir]: parse the snapshot, restore the
     churn engine ({!Tdmd.Incremental.restore}), then replay the journal
@@ -146,6 +133,38 @@ val solve :
     bit-identical to calling the registry directly with the same seed.
     Response fields: ["algo"], ["k"], ["seed"], ["on"], ["placement"]
     (sorted vertex list), ["bandwidth"], ["feasible"], ["telemetry"]. *)
+
+val solve_anytime_on_instance :
+  ?tree:Tdmd.Instance.Tree.t ->
+  algo:string ->
+  k:int ->
+  seed:int ->
+  target:Protocol.solve_target ->
+  budget_ms:int ->
+  Tdmd.Instance.t ->
+  reply
+(** Deadline-bounded solve: race a {!Tdmd_portfolio.Portfolio} for at
+    most [budget_ms] and answer with the best feasible placement found
+    so far instead of a deadline error.  ["portfolio"] /["anneal"] /
+    ["genetic"] select their members directly; any other known registry
+    name races as a restart-wrapped seed against the two metaheuristics
+    (tree-only names need [?tree]).  The response carries the {!solve}
+    fields plus ["anytime"]:true, ["budget_ms"], ["member"] (who found
+    the answer; ["fallback"] when nothing was published within the
+    budget) and ["improvements"]. *)
+
+val solve_anytime :
+  t ->
+  algo:string ->
+  k:int ->
+  seed:int ->
+  target:Protocol.solve_target ->
+  budget_ms:int ->
+  reply
+(** {!solve_anytime_on_instance} against this session's static instance
+    ([target = Static], with the tree view passed through when the
+    session serves a tree) or a locked snapshot of its live churn
+    engine ([target = Live]). *)
 
 val arrive : t -> ?req:string -> id:int -> rate:int -> path:int list -> unit -> reply
 (** Feed one arrival to the churn engine.  ["conflict"] on duplicate

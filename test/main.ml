@@ -20,6 +20,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("netsim-chain", Test_netsim_chain.suite);
       ("sim", Test_sim.suite);
+      ("portfolio", Test_portfolio.suite);
       ("server", Test_server.suite);
       ("journal", Test_journal.suite);
       ("engine", Test_engine.suite);

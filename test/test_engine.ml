@@ -17,15 +17,6 @@ module Client = Tdmd_server.Client
 module Pt = Tdmd_topo.Partition
 module Sc = Tdmd_sim.Scenario
 
-(* The deprecated constructors stay callable for one release; this is
-   the one place allowed to touch them (their equivalence test). *)
-module Deprecated = struct
-  [@@@alert "-deprecated"]
-
-  let of_general = Session.of_general
-  let of_tree = Session.of_tree
-end
-
 let mk_config ?durability ?(churn_k = 2) () =
   {
     Session.Config.churn_k;
@@ -90,7 +81,7 @@ let engine_fingerprint engine =
          (Engine.solve engine ~algo:"gtp" ~k:2 ~seed:5 ~target:P.Live))
 
 (* ------------------------------------------------------------------ *)
-(* Session.Config and the deprecated constructor aliases               *)
+(* Session.Config construction                                         *)
 (* ------------------------------------------------------------------ *)
 
 let test_config_aliases () =
@@ -100,8 +91,8 @@ let test_config_aliases () =
     d.Session.Config.dedup_cap;
   Alcotest.(check bool) "default not durable" true
     (d.Session.Config.durability = None);
-  (* Old and new constructors must build behaviourally identical
-     sessions. *)
+  (* Two sessions built from the same Config must behave identically —
+     construction is a pure function of (Config, instance). *)
   let drive session =
     ignore
       (expect_applied "arrive"
@@ -109,19 +100,17 @@ let test_config_aliases () =
     ignore (expect_applied "depart" (Session.depart session ~req:"d1" 7));
     Json.to_string (Json.Obj (Session.churn_stats session))
   in
-  let via_alias = drive (Deprecated.of_general ~churn_k:2 (line_instance 6)) in
-  let via_config =
-    drive (Session.create ~config:(mk_config ()) (line_instance 6))
-  in
-  Alcotest.(check string) "of_general = create+Config" via_config via_alias;
+  Alcotest.(check string) "create is deterministic"
+    (drive (Session.create ~config:(mk_config ()) (line_instance 6)))
+    (drive (Session.create ~config:(mk_config ()) (line_instance 6)));
   let tree_inst = Sc.build_tree (Rng.create 11) Sc.default_tree in
   let solve s =
     reply_to_string
       (strip_timing (Session.solve s ~algo:"gtp" ~k:3 ~seed:9 ~target:P.Static))
   in
-  Alcotest.(check string) "of_tree = create_tree+Config"
+  Alcotest.(check string) "create_tree is deterministic"
     (solve (Session.create_tree ~config:(mk_config ~churn_k:3 ()) tree_inst))
-    (solve (Deprecated.of_tree ~churn_k:3 tree_inst))
+    (solve (Session.create_tree ~config:(mk_config ~churn_k:3 ()) tree_inst))
 
 (* ------------------------------------------------------------------ *)
 (* 1 shard: bit-identical to the pre-shard session                     *)
@@ -694,7 +683,7 @@ let test_cross_record_codec () =
 
 let suite =
   [
-    Alcotest.test_case "config: defaults and deprecated aliases" `Quick
+    Alcotest.test_case "config: defaults and deterministic construction" `Quick
       test_config_aliases;
     Alcotest.test_case "one shard: bit-identical to the session" `Quick
       test_one_shard_bit_identical;

@@ -1,0 +1,160 @@
+(* The anytime metaheuristic portfolio: step-budgeted determinism
+   across runs and domain counts, monotone feasible publications, the
+   registry entries, and the deadline-zero fallback contract. *)
+
+open Tdmd_prelude
+module Pf = Tdmd_portfolio.Portfolio
+module Anneal = Tdmd_portfolio.Anneal
+module Genetic = Tdmd_portfolio.Genetic
+module Search = Tdmd_portfolio.Search
+module Oracle = Tdmd.Inc_oracle
+
+let () = Tdmd_portfolio.Register.install ()
+
+let mid_instance case_seed =
+  let rng = Rng.create (7_000_000 + case_seed) in
+  Fixtures.random_general_instance rng ~n:12 ~flows:20 ~max_rate:6 ~lambda:0.5
+
+let race ~domains ~seed ~steps inst =
+  let t = Pf.start ~domains ~steps ~rng:(Rng.create seed) ~k:4 inst in
+  match Pf.await t with
+  | Some b -> (b.Pf.volume, b.Pf.placement)
+  | None -> (-1, [])
+
+(* The satellite property: same seed + step budget => bit-identical
+   answers, whatever the domain count and however the domains were
+   scheduled.  (The improvements counter is scheduling-dependent and
+   deliberately not compared.) *)
+let prop_deterministic =
+  QCheck.Test.make ~name:"await: step-budgeted answers are bit-identical"
+    ~count:12
+    QCheck.(pair (int_bound 1_000_000) (int_range 20 120))
+    (fun (seed, steps) ->
+      let inst = mid_instance (seed mod 5) in
+      let a = race ~domains:1 ~seed ~steps inst in
+      let b = race ~domains:1 ~seed ~steps inst in
+      let c = race ~domains:3 ~seed ~steps inst in
+      a = b && b = c)
+
+let test_published_monotone_feasible () =
+  let inst = mid_instance 1 in
+  let log = ref [] in
+  (* One worker domain: publications arrive sequentially (the start-time
+     cover publish happens before any member is submitted), so a plain
+     ref is race-free here. *)
+  let t =
+    Pf.start ~domains:1 ~steps:300
+      ~on_publish:(fun b -> log := b :: !log)
+      ~rng:(Rng.create 42) ~k:4 inst
+  in
+  ignore (Pf.await t);
+  let published = List.rev !log in
+  Alcotest.(check bool) "something was published" true (published <> []);
+  let scratch = Oracle.create inst in
+  List.iter
+    (fun (b : Pf.best) ->
+      let volume, feasible = Search.eval scratch b.Pf.placement in
+      Alcotest.(check bool)
+        (Printf.sprintf "published %s is feasible" b.Pf.member)
+        true feasible;
+      Alcotest.(check int) "published volume is the exact re-evaluation"
+        volume b.Pf.volume;
+      Alcotest.(check bool) "placement within budget" true
+        (List.length b.Pf.placement <= 4))
+    published;
+  ignore
+    (List.fold_left
+       (fun prev (b : Pf.best) ->
+         Alcotest.(check bool) "best-so-far never worsens" true
+           (b.Pf.volume > prev);
+         b.Pf.volume)
+       (-1) published);
+  (* The final cell is the last (greatest) publication. *)
+  match Pf.best_now t with
+  | None -> Alcotest.fail "cell empty after publications"
+  | Some best ->
+    Alcotest.(check int) "cell holds the maximum"
+      (List.fold_left (fun acc (b : Pf.best) -> max acc b.Pf.volume) (-1) published)
+      best.Pf.volume
+
+let test_deadline_zero_has_answer () =
+  let inst = mid_instance 2 in
+  let t = Pf.start ~domains:2 ~rng:(Rng.create 9) ~k:4 inst in
+  match Pf.await ~deadline_ms:0 t with
+  | None -> Alcotest.fail "no answer at deadline 0 (cover not published?)"
+  | Some b ->
+    let scratch = Oracle.create inst in
+    let _, feasible = Search.eval scratch b.Pf.placement in
+    Alcotest.(check bool) "deadline-0 answer is feasible" true feasible
+
+let test_solo_runs_deterministic () =
+  (* Seed 3 needs five vertices before a full cover exists, so k = 6
+     leaves slack for the searches to find a feasible answer. *)
+  let inst = mid_instance 3 in
+  let run_a () = Anneal.run ~rng:(Rng.create 5) ~k:6 ~steps:400 inst in
+  let run_g () = Genetic.run ~rng:(Rng.create 5) ~k:6 ~steps:150 inst in
+  let a1 = run_a () and a2 = run_a () in
+  Alcotest.(check bool) "anneal deterministic" true
+    (a1.Search.volume = a2.Search.volume
+    && a1.Search.placement = a2.Search.placement);
+  Alcotest.(check bool) "anneal found something" true a1.Search.feasible;
+  let g1 = run_g () and g2 = run_g () in
+  Alcotest.(check bool) "genetic deterministic" true
+    (g1.Search.volume = g2.Search.volume
+    && g1.Search.placement = g2.Search.placement);
+  Alcotest.(check bool) "genetic found something" true g1.Search.feasible
+
+let test_registry_entries () =
+  let inst = Fixtures.fig1_instance () in
+  List.iter
+    (fun name ->
+      match Tdmd.Solvers.find_general name with
+      | None -> Alcotest.failf "%s not registered" name
+      | Some solve ->
+        let o = solve ~rng:(Rng.create 7) ~k:3 inst in
+        Alcotest.(check bool) (name ^ " feasible on fig1") true
+          o.Tdmd.Solver_intf.feasible;
+        (* Fig. 1's worked optimum at k = 3 is 8 (brute force agrees);
+           a 20-candidate search space leaves no excuse. *)
+        Alcotest.(check (float 1e-9)) (name ^ " reaches the fig1 optimum")
+          8.0 o.Tdmd.Solver_intf.bandwidth)
+    [ "portfolio"; "anneal"; "genetic" ];
+  Alcotest.(check bool) "names are listed" true
+    (List.mem "portfolio" (Tdmd.Solvers.names ()));
+  Alcotest.(check bool) "duplicate registration refused" true
+    (match Tdmd.Solvers.register_general "portfolio" (fun ~rng:_ ~k:_ _ ->
+         assert false)
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_portfolio_beats_members () =
+  (* At a full step budget the portfolio must match its strongest
+     member: it races gtp, so it can never answer worse than gtp. *)
+  (* Seed 4's instance needs six vertices for a full cover. *)
+  let inst = mid_instance 4 in
+  let t = Pf.start ~steps:800 ~rng:(Rng.create 3) ~k:6 inst in
+  let best = Pf.await t in
+  let outcome = Pf.outcome_of t best in
+  let gtp = Option.get (Tdmd.Solvers.find_general "gtp") in
+  let g = gtp ~rng:(Rng.create 3) ~k:6 inst in
+  Alcotest.(check bool) "portfolio feasible" true
+    outcome.Tdmd.Solver_intf.feasible;
+  Alcotest.(check bool) "portfolio <= gtp bandwidth" true
+    (outcome.Tdmd.Solver_intf.bandwidth
+    <= g.Tdmd.Solver_intf.bandwidth +. 1e-9)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_deterministic;
+    Alcotest.test_case "portfolio: publications feasible and monotone" `Quick
+      test_published_monotone_feasible;
+    Alcotest.test_case "portfolio: deadline 0 still answers" `Quick
+      test_deadline_zero_has_answer;
+    Alcotest.test_case "anneal/genetic: fixed seed is deterministic" `Quick
+      test_solo_runs_deterministic;
+    Alcotest.test_case "registry: portfolio names installed" `Quick
+      test_registry_entries;
+    Alcotest.test_case "portfolio: never worse than its gtp member" `Quick
+      test_portfolio_beats_members;
+  ]

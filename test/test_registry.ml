@@ -18,7 +18,7 @@ let test_general_solvers () =
     (fun (name, solve) ->
       let o = solve ~rng:(Rng.create 7) ~k:3 inst in
       check_priced name inst o)
-    Solvers.general;
+    (Solvers.general ());
   (* Fig. 1 worked optimum at k = 3 is 8: brute must hit it and the
      greedy must match on this instance (Tab. 2's trace). *)
   let bw name =
@@ -37,7 +37,7 @@ let test_tree_solvers () =
     (fun (name, solve) ->
       let o = solve ~rng:(Rng.create 7) ~k:2 inst in
       check_priced name general o)
-    Solvers.tree;
+    (Solvers.tree ());
   let bw name =
     let solve = Option.get (Solvers.find_tree name) in
     (solve ~rng:(Rng.create 7) ~k:2 inst).Tdmd.Solver_intf.bandwidth
@@ -78,10 +78,10 @@ let test_telemetry_matches_reports () =
       let o = solve ~rng:(Rng.create 7) ~k:3 inst in
       Alcotest.(check bool) (name ^ " recorded a span") true
         (Tel.spans o.Tdmd.Solver_intf.telemetry <> []))
-    Solvers.general
+    (Solvers.general ())
 
 let test_names_unique () =
-  let names = Solvers.names in
+  let names = Solvers.names () in
   let sorted = List.sort_uniq compare names in
   Alcotest.(check int) "no duplicate names" (List.length names)
     (List.length sorted);

@@ -230,6 +230,66 @@ let test_deadline_expiry () =
       Client.close sleeper)
 
 (* ------------------------------------------------------------------ *)
+(* 2b. Deadlined solves answer anytime, never "deadline"                *)
+(* ------------------------------------------------------------------ *)
+
+let test_anytime_solve () =
+  let session = session_of_general ~churn_k:2 (tiny_general ()) in
+  with_server ~domains:2 session (fun addr _server ->
+      let c = Client.connect addr in
+      let solve deadline_ms =
+        expect_ok "anytime solve"
+          (Client.rpc c ?deadline_ms
+             (P.Solve { algo = "portfolio"; k = 2; seed = 7; target = P.Static }))
+      in
+      (* Even a 1 ms budget answers with a placement: the greedy-cover
+         fallback is published before the race starts. *)
+      List.iter
+        (fun budget ->
+          let resp = solve (Some budget) in
+          Alcotest.(check bool)
+            (Printf.sprintf "anytime flag at %d ms" budget)
+            true
+            (Json.member "anytime" resp = Some (Json.Bool true));
+          Alcotest.(check bool) "feasible" true
+            (Json.member "feasible" resp = Some (Json.Bool true));
+          Alcotest.(check bool) "non-empty placement" true
+            (int_list_field "solve" "placement" resp <> []);
+          Alcotest.(check bool) "member reported" true
+            (match Json.member "member" resp with
+            | Some (Json.String _) -> true
+            | _ -> false);
+          ignore (int_field "solve" "improvements" resp);
+          ignore (int_field "solve" "budget_ms" resp))
+        [ 1; 150 ];
+      (* Registry seeds race too: a deadlined gtp must also answer. *)
+      let resp =
+        expect_ok "anytime gtp"
+          (Client.rpc c ~deadline_ms:150
+             (P.Solve { algo = "gtp"; k = 2; seed = 7; target = P.Static }))
+      in
+      Alcotest.(check bool) "gtp anytime flag" true
+        (Json.member "anytime" resp = Some (Json.Bool true));
+      (* Without a deadline the run-to-completion path is untouched. *)
+      let plain =
+        expect_ok "plain solve"
+          (Client.rpc c
+             (P.Solve { algo = "gtp"; k = 2; seed = 7; target = P.Static }))
+      in
+      Alcotest.(check bool) "no anytime field without deadline" true
+        (Json.member "anytime" plain = None);
+      (* Unknown names still fail loudly rather than racing nothing. *)
+      ignore
+        (expect_error "unknown algo" "unknown-algo"
+           (Client.rpc c ~deadline_ms:50
+              (P.Solve { algo = "nope"; k = 2; seed = 7; target = P.Static })));
+      let stats = expect_ok "stats" (Client.rpc c P.Stats) in
+      Alcotest.(check bool) "anytime solves counted" true
+        (int_field "stats" "anytime_solves" stats >= 3);
+      ignore (int_field "stats" "pool_job_errors" stats);
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
 (* 3. Bounded queue: overload answered immediately                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -470,6 +530,8 @@ let suite =
       test_concurrent_solves;
     Alcotest.test_case "queued requests expire at their deadline" `Quick
       test_deadline_expiry;
+    Alcotest.test_case "deadlined solves answer anytime" `Quick
+      test_anytime_solve;
     Alcotest.test_case "full queue rejects with overloaded" `Quick
       test_overload_rejection;
     Alcotest.test_case "malformed frames and unknown names" `Quick
