@@ -347,7 +347,7 @@ let durability_holds_state cfg =
 
 let serve listen topology size lambda density seed instance_file domains queue
     deadline_ms churn_k migration_budget shards metrics_out journal fsync
-    snapshot_every =
+    snapshot_every degraded_reads =
   if shards < 1 then begin
     Printf.eprintf "--shards must be >= 1\n";
     exit 2
@@ -368,7 +368,7 @@ let serve listen topology size lambda density seed instance_file domains queue
   let engine =
     match durability with
     | Some cfg when durability_holds_state cfg -> (
-      match Tdmd_server.Engine.recover cfg with
+      match Tdmd_server.Engine.recover ~degraded_reads cfg with
       | Ok e ->
         Printf.printf "tdmd serve: recovered %d shard(s) from %s\n%!"
           (Tdmd_server.Engine.shard_count e)
@@ -390,7 +390,7 @@ let serve listen topology size lambda density seed instance_file domains queue
           | Some t -> Tdmd_server.Engine.Tree t
           | None -> Tdmd_server.Engine.General general)
       in
-      try Tdmd_server.Engine.create ~config ~shards source
+      try Tdmd_server.Engine.create ~degraded_reads ~config ~shards source
       with Invalid_argument msg ->
         Printf.eprintf "--shards: %s\n" msg;
         exit 2)
@@ -473,6 +473,15 @@ let serve_cmd =
              churn engine and journal; 1 (the default) is the pre-shard \
              single-engine behaviour, bit for bit")
   in
+  let degraded_reads_arg =
+    Arg.(
+      value & flag
+      & info [ "degraded-reads" ]
+          ~doc:
+            "While a shard is recovering, answer read-only ops (stats, live \
+             solves) from the last applied state with \"degraded\": true \
+             instead of refusing them \"unavailable\"")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the placement service (length-prefixed JSON over a socket)")
@@ -480,7 +489,8 @@ let serve_cmd =
       const serve $ listen_arg $ topology_arg $ size_arg $ lambda_arg
       $ density_arg $ seed_arg $ instance_arg $ domains_arg $ queue_arg
       $ deadline_arg $ churn_k_arg $ migration_budget_arg $ shards_arg
-      $ metrics_out_arg $ journal_arg $ fsync_arg $ snapshot_every_arg)
+      $ metrics_out_arg $ journal_arg $ fsync_arg $ snapshot_every_arg
+      $ degraded_reads_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover: offline rebuild + compaction of a journal directory        *)
@@ -531,6 +541,7 @@ let client connect op algo k seed on flow_id rate path ms budget deadline_ms
     match op with
     | "ping" -> P.Ping
     | "stats" -> P.Stats
+    | "health" -> P.Health
     | "shutdown" -> P.Shutdown
     | "sleep" -> P.Sleep ms
     | "solve" ->
@@ -546,8 +557,8 @@ let client connect op algo k seed on flow_id rate path ms budget deadline_ms
     | "rebalance" -> P.Rebalance { budget }
     | other ->
       Printf.eprintf
-        "unknown op %S (ping | stats | solve | arrive | depart | rebalance | \
-         sleep | shutdown)\n"
+        "unknown op %S (ping | stats | health | solve | arrive | depart | \
+         rebalance | sleep | shutdown)\n"
         other;
       exit 2
   in
@@ -575,8 +586,8 @@ let client_cmd =
       value & opt string "ping"
       & info [ "op" ]
           ~doc:
-            "ping | stats | solve | arrive | depart | rebalance | sleep | \
-             shutdown")
+            "ping | stats | health | solve | arrive | depart | rebalance | \
+             sleep | shutdown")
   in
   let on_arg =
     Arg.(

@@ -58,3 +58,21 @@ let sleep t =
   | Some d ->
     if d > 0.0 then Unix.sleepf d;
     true
+
+let sleep_for t d =
+  if d < 0.0 then invalid_arg "Backoff.sleep_for: negative delay";
+  if t.p.max_attempts > 0 && t.used >= t.p.max_attempts then false
+  else if t.p.budget > 0.0 && t.slept >= t.p.budget then false
+  else begin
+    (* A server-directed delay replaces the jittered one for this
+       attempt but still draws down the same attempt/budget accounting,
+       so a retry_after_ms stream cannot stretch the give-up point. *)
+    let d =
+      if t.p.budget > 0.0 then Float.min d (t.p.budget -. t.slept) else d
+    in
+    t.prev <- Float.min d t.p.cap;
+    t.used <- t.used + 1;
+    t.slept <- t.slept +. d;
+    if d > 0.0 then Unix.sleepf d;
+    true
+  end

@@ -45,6 +45,15 @@ val sleep : t -> bool
 (** [next] + [Unix.sleepf]; [false] means the budget is exhausted and
     the caller should stop retrying.  Blocks only the calling thread. *)
 
+val sleep_for : t -> float -> bool
+(** [sleep_for t d] sleeps a {e server-directed} delay of [d] seconds
+    (e.g. a pushed [retry_after_ms]) instead of the jittered one, while
+    still consuming one attempt and [d] of the planned-sleep budget —
+    the final sleep is clipped to the remaining budget exactly like
+    {!next}.  [false] means the policy is already exhausted and nothing
+    was slept.
+    @raise Invalid_argument when [d < 0]. *)
+
 val attempts : t -> int
 (** Delays handed out so far. *)
 

@@ -35,6 +35,13 @@ let connect ?(retry = Backoff.default) ?seed addr =
   { addr; retry; seed; fd = Some fd; closed = false; next_req = 0;
     tag = fresh_tag () }
 
+let budget_exhausted_prefix = "retry-budget-exhausted: "
+
+let budget_exhausted msg =
+  String.length msg >= String.length budget_exhausted_prefix
+  && String.sub msg 0 (String.length budget_exhausted_prefix)
+     = budget_exhausted_prefix
+
 let connect_retry ?(policy = Backoff.default) ?seed addr =
   let b = Backoff.start ?seed policy in
   let rec go () =
@@ -44,8 +51,9 @@ let connect_retry ?(policy = Backoff.default) ?seed addr =
       if Backoff.sleep b then go ()
       else
         Error
-          (Printf.sprintf "%s (gave up after %d attempts over %.2f s)"
-             (Printexc.to_string e) (Backoff.attempts b) (Backoff.elapsed b))
+          (Printf.sprintf "%s%s (gave up after %d attempts over %.2f s)"
+             budget_exhausted_prefix (Printexc.to_string e)
+             (Backoff.attempts b) (Backoff.elapsed b))
   in
   go ()
 
@@ -133,16 +141,26 @@ let gen_req t =
 let is_mutating = function
   | Protocol.Arrive _ | Protocol.Depart _ | Protocol.Rebalance _ -> true
   | Protocol.Ping | Protocol.Sleep _ | Protocol.Solve _ | Protocol.Stats
-  | Protocol.Shutdown ->
+  | Protocol.Health | Protocol.Shutdown ->
     false
 
-(* Retryable server answer: the queue was full.  Everything else the
-   server says ("bad-request", "conflict", "deadline", ...) is a real
-   answer and retrying would not change it. *)
-let overloaded json =
+(* Retryable server answers: the queue was full, or the target shard is
+   restarting.  Everything else the server says ("bad-request",
+   "conflict", "deadline", ...) is a real answer and retrying would not
+   change it. *)
+let retryable json =
   match (Json.member "ok" json, Json.member "code" json) with
-  | Some (Json.Bool false), Some (Json.String "overloaded") -> true
+  | ( Some (Json.Bool false),
+      Some (Json.String ("overloaded" | "unavailable")) ) ->
+    true
   | _ -> false
+
+(* The server's push-back hint on "unavailable" replies: how long a
+   shard recovery typically takes. *)
+let server_delay json =
+  match Json.member "retry_after_ms" json with
+  | Some (Json.Int ms) when ms >= 0 -> Some (float_of_int ms /. 1000.0)
+  | _ -> None
 
 let rpc_retry t ?id ?deadline_ms ?req ?policy request =
   let req =
@@ -153,22 +171,38 @@ let rpc_retry t ?id ?deadline_ms ?req ?policy request =
   let json = Protocol.request_to_json ?id ?deadline_ms ?req request in
   let b = Backoff.start ?seed:t.seed (Option.value policy ~default:t.retry) in
   let give_up msg =
+    (* A distinct, machine-matchable failure (see {!budget_exhausted}):
+       callers treat "the server definitively said no" and "I ran out of
+       retry budget" very differently. *)
     Error
-      (Printf.sprintf "%s (gave up after %d attempts over %.2f s)" msg
-         (Backoff.attempts b) (Backoff.elapsed b))
+      (Printf.sprintf "%s%s (gave up after %d attempts over %.2f s)"
+         budget_exhausted_prefix msg (Backoff.attempts b) (Backoff.elapsed b))
+  in
+  (* One unit of waiting, honoring a server-pushed retry_after_ms when
+     present (it draws down the same attempt/wall-clock budget as a
+     jittered sleep, so a stream of hints cannot stretch the give-up
+     point). *)
+  let wait ~hint =
+    match hint with Some d -> Backoff.sleep_for b d | None -> Backoff.sleep b
   in
   let rec attempt () =
     match exchange_follow t json with
     | Error (`Fatal msg) -> Error msg
-    | Ok resp when not (overloaded resp) -> Ok resp
-    | Ok _ ->
-      (* Overloaded: the connection is fine, just wait and resend. *)
-      if Backoff.sleep b then attempt () else give_up "server overloaded"
+    | Ok resp when not (retryable resp) -> Ok resp
+    | Ok resp ->
+      (* Overloaded or unavailable: the connection is fine, just wait
+         and resend. *)
+      let reason =
+        match Json.member "code" resp with
+        | Some (Json.String "unavailable") -> "shard unavailable"
+        | _ -> "server overloaded"
+      in
+      if wait ~hint:(server_delay resp) then attempt () else give_up reason
     | Error (`Transport msg) ->
       (* The request may or may not have been applied before the
          connection died — safe to resend only because mutating ops
          carry an idempotency id the server deduplicates. *)
-      if Backoff.sleep b then begin
+      if wait ~hint:None then begin
         reconnect t;
         attempt ()
       end

@@ -64,15 +64,28 @@ val rpc_retry :
   Protocol.request ->
   (Protocol.Json.t, string) result
 (** Like {!rpc}, but retries under [policy] (default: the client's
-    connect-time policy) on the two failures where a retry can help:
-    transport errors (connection reset / closed — reconnects first) and
-    ["overloaded"] responses (queue full — just waits).  Definitive
-    server answers, including errors like ["bad-request"], are returned
-    as-is.  Mutating requests ([arrive]/[depart]) without an explicit
-    [req] get a generated idempotency id, kept stable across the
-    retries, so the server applies the op at most once even if the
-    connection died after the op was executed but before the response
-    arrived. *)
+    connect-time policy) on the three failures where a retry can help:
+    transport errors (connection reset / closed — reconnects first),
+    ["overloaded"] responses (queue full — just waits) and
+    ["unavailable"] responses (shard restarting — waits the server's
+    ["retry_after_ms"] hint when pushed, a jittered backoff otherwise;
+    either way the wait draws down the same attempt and wall-clock
+    budget, so a stream of hints cannot stretch the give-up point).
+    Definitive server answers, including errors like ["bad-request"],
+    are returned as-is.  Mutating requests ([arrive]/[depart]) without
+    an explicit [req] get a generated idempotency id, kept stable
+    across the retries, so the server applies the op at most once even
+    if the connection died after the op was executed but before the
+    response arrived.
+
+    When the policy's attempt or wall-clock budget runs out, the
+    [Error] message starts with ["retry-budget-exhausted: "] — test
+    with {!budget_exhausted}. *)
+
+val budget_exhausted : string -> bool
+(** [true] exactly when an [Error] from {!rpc_retry} (or
+    {!connect_retry}) means the retry budget ran out, as opposed to a
+    transport failure or a closed client. *)
 
 val rpc_json : t -> Protocol.Json.t -> (Protocol.Json.t, string) result
 (** Raw variant of {!rpc}: send an arbitrary JSON value as the request

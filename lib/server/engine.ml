@@ -22,16 +22,25 @@ type coord = {
 }
 
 type t = {
-  shards : Shard.t array;
+  shards : Shard.t array;  (* cells are swapped by supervised restarts *)
   router : Router.t;
   coord : coord option;  (* durable and sharded only *)
   general : Tdmd.Instance.t;  (* canonical static instance *)
+  sup : Supervisor.t;
+  degraded_reads : bool;
+  dedup_cap : int;
+  (* Per-shard durability config, for the supervised restart path; [None]
+     when there is no disk state to recover a failed shard from. *)
+  shard_cfg : (int -> Session.durability) option;
 }
 
 let shard_count t = Array.length t.shards
 let router t = t.router
 let shard t i = t.shards.(i)
 let general t = t.general
+let supervisor t = t.sup
+let retry_after_ms t = Supervisor.retry_after_ms t.sup
+let degraded_reads t = t.degraded_reads
 
 let shard_dir root i = Filename.concat root (Printf.sprintf "shard-%d" i)
 let coord_file root = Filename.concat root "coord.wal"
@@ -71,7 +80,63 @@ let build_session ~config source =
   | General inst -> Session.create ~config inst
   | Tree tree_inst -> Session.create_tree ~config tree_inst
 
-let create ?(config = Session.Config.default) ?(shards = 1) ?partition source =
+(* In-place supervised restart of one shard: retire the dead session
+   (releasing its journal descriptor without a snapshot — the disk is
+   the authority), recover a replacement from the shard directory, swap
+   it into the shard array (a pointer write, atomic for concurrent
+   readers) and reconcile the routing table against the recovered flow
+   set.  Runs on the supervisor's recovery thread. *)
+let restart_shard t i =
+  match t.shard_cfg with
+  | None -> Error "shard is not durable; nothing to recover from"
+  | Some cfg_of ->
+    let cfg = cfg_of i in
+    Session.abandon (Shard.session t.shards.(i));
+    (match Session.recover ~dedup_cap:t.dedup_cap cfg with
+    | Error _ as e -> e
+    | Ok session ->
+      t.shards.(i) <- Shard.create ~faults:cfg.Session.faults ~id:i session;
+      Router.reconcile t.router ~shard:i
+        ~flow_ids:
+          (List.map
+             (fun (f : Tdmd_flow.Flow.t) -> f.Tdmd_flow.Flow.id)
+             (Session.live_flows session));
+      Ok ())
+
+(* Tie the knot between the engine and its supervisor: the restart
+   closure needs the engine, which holds the supervisor. *)
+let finish ?supervisor ?(degraded_reads = false) ~dedup_cap ~shard_cfg ~faults
+    ~shards ~router ~coord general =
+  let cell = ref None in
+  let restart =
+    match shard_cfg with
+    | None -> None
+    | Some _ ->
+      Some
+        (fun i ->
+          match !cell with
+          | Some t -> restart_shard t i
+          | None -> Error "engine still initialising")
+  in
+  let sup =
+    Supervisor.create ?config:supervisor ~faults ~restart
+      ~shards:(Array.length shards) ()
+  in
+  let t =
+    { shards; router; coord; general; sup; degraded_reads; dedup_cap; shard_cfg }
+  in
+  cell := Some t;
+  t
+
+let durability_of (config : Session.Config.t) = config.Session.Config.durability
+
+let faults_of (config : Session.Config.t) =
+  match durability_of config with
+  | Some d -> d.Session.faults
+  | None -> Faults.none
+
+let create ?supervisor ?degraded_reads ?(config = Session.Config.default)
+    ?(shards = 1) ?partition source =
   if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
   let general =
     match source with
@@ -88,21 +153,21 @@ let create ?(config = Session.Config.default) ?(shards = 1) ?partition source =
       p
     | None -> Partition.make general.Tdmd.Instance.graph ~shards
   in
+  let faults = faults_of config in
   if shards = 1 then begin
     (* Single shard: the session lives directly in the durability root,
        exactly as the pre-shard engine laid it out, so existing
        directories keep recovering and every answer stays bit-identical. *)
     let session = build_session ~config source in
-    {
-      shards = [| Shard.create ~id:0 session |];
-      router = Router.create partition;
-      coord = None;
-      general;
-    }
+    let shard_cfg = Option.map (fun d _ -> d) (durability_of config) in
+    finish ?supervisor ?degraded_reads
+      ~dedup_cap:config.Session.Config.dedup_cap ~shard_cfg ~faults
+      ~shards:[| Shard.create ~faults ~id:0 session |]
+      ~router:(Router.create partition) ~coord:None general
   end
   else begin
     let root =
-      match config.Session.Config.durability with
+      match durability_of config with
       | None -> None
       | Some d ->
         ensure_dir d.Session.dir;
@@ -115,17 +180,12 @@ let create ?(config = Session.Config.default) ?(shards = 1) ?partition source =
             | None -> config
             | Some root -> shard_config ~config ~root i
           in
-          Shard.create ~id:i (build_session ~config source))
+          Shard.create ~faults ~id:i (build_session ~config source))
     in
     let coord =
       match root with
       | None -> None
       | Some root ->
-        let faults =
-          match config.Session.Config.durability with
-          | Some d -> d.Session.faults
-          | None -> Faults.none
-        in
         let journal, ops =
           Journal.open_append ~faults ~fsync:Journal.Always (coord_file root)
         in
@@ -135,18 +195,25 @@ let create ?(config = Session.Config.default) ?(shards = 1) ?partition source =
         if ops <> [] then Journal.reset journal;
         Some (make_coord journal)
     in
-    { shards = shard_arr; router = Router.create partition; coord; general }
+    let shard_cfg =
+      match (durability_of config, root) with
+      | Some d, Some root ->
+        Some (fun i -> { d with Session.dir = shard_dir root i })
+      | _ -> None
+    in
+    finish ?supervisor ?degraded_reads
+      ~dedup_cap:config.Session.Config.dedup_cap ~shard_cfg ~faults
+      ~shards:shard_arr ~router:(Router.create partition) ~coord general
   end
 
 let of_session session =
   let general = Session.general session in
   let n = Tdmd_graph.Digraph.vertex_count general.Tdmd.Instance.graph in
-  {
-    shards = [| Shard.create ~id:0 session |];
-    router = Router.create (Partition.trivial ~n);
-    coord = None;
-    general;
-  }
+  finish ~dedup_cap:Session.default_dedup_cap ~shard_cfg:None
+    ~faults:Faults.none
+    ~shards:[| Shard.create ~id:0 session |]
+    ~router:(Router.create (Partition.trivial ~n))
+    ~coord:None general
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
@@ -202,20 +269,22 @@ let batch_op_of_journal xid = function
   | Journal.Cross_prepare _ | Journal.Cross_done _ ->
     Error "coordinator journal: nested cross record"
 
-let recover ?(dedup_cap = Session.default_dedup_cap) (cfg : Session.durability) =
+let recover ?supervisor ?degraded_reads ?(dedup_cap = Session.default_dedup_cap)
+    (cfg : Session.durability) =
   let root = cfg.Session.dir in
+  let faults = cfg.Session.faults in
   if not (sharded_layout root) then begin
     (* Flat pre-shard layout: one session in the root. *)
     let* session = Session.recover ~dedup_cap cfg in
     let general = Session.general session in
     let n = Tdmd_graph.Digraph.vertex_count general.Tdmd.Instance.graph in
     Ok
-      {
-        shards = [| Shard.create ~id:0 session |];
-        router = Router.create (Partition.trivial ~n);
-        coord = None;
-        general;
-      }
+      (finish ?supervisor ?degraded_reads ~dedup_cap
+         ~shard_cfg:(Some (fun _ -> cfg))
+         ~faults
+         ~shards:[| Shard.create ~faults ~id:0 session |]
+         ~router:(Router.create (Partition.trivial ~n))
+         ~coord:None general)
   end
   else begin
     let n_shards = detect_shards root in
@@ -233,7 +302,7 @@ let recover ?(dedup_cap = Session.default_dedup_cap) (cfg : Session.durability) 
         (Array.init n_shards (fun i -> i))
     in
     let sessions = Array.of_list (List.rev sessions) in
-    let shards = Array.mapi (fun i s -> Shard.create ~id:i s) sessions in
+    let shards = Array.mapi (fun i s -> Shard.create ~faults ~id:i s) sessions in
     let general = Session.general sessions.(0) in
     (* The partition is a deterministic function of the recovered graph,
        so it is the partition the engine was created with. *)
@@ -241,14 +310,17 @@ let recover ?(dedup_cap = Session.default_dedup_cap) (cfg : Session.durability) 
     let router = rebuild_router partition shards in
     let* journal, ops =
       match
-        Journal.open_append ~faults:cfg.Session.faults ~fsync:Journal.Always
-          (coord_file root)
+        Journal.open_append ~faults ~fsync:Journal.Always (coord_file root)
       with
       | r -> Ok r
       | exception Sys_error msg -> Error msg
     in
     let coord = make_coord journal in
-    let engine = { shards; router; coord = Some coord; general } in
+    let engine =
+      finish ?supervisor ?degraded_reads ~dedup_cap
+        ~shard_cfg:(Some (fun i -> { cfg with Session.dir = shard_dir root i }))
+        ~faults ~shards ~router ~coord:(Some coord) general
+    in
     (* Replay in-flight cross-shard ops in journal order.  The home
        shard's dedup table is keyed by xid, so an op it already applied
        answers ["dedup": true] instead of applying twice. *)
@@ -302,16 +374,50 @@ let next_xid coord =
   coord.seq <- coord.seq + 1;
   Printf.sprintf "%s-%d" coord.tag coord.seq
 
+let mid_op_unavailable =
+  Error
+    ( "unavailable",
+      "shard failed mid-op; op may or may not be applied — retry with the \
+       same req" )
+
+(* Dispatch one op to a shard under the supervisor: refuse up front when
+   the shard is not [Serving]; absorb a mid-op shard death (the
+   leader's [Faults.Die], a poisoned journal's exception) into a
+   supervised restart plus an ["unavailable"] answer; and detect WAL
+   poisoning — which {!Session.apply_batch} surfaces as [Error] replies,
+   never exceptions — after the batch, so the shard restarts instead of
+   wedging. *)
+let check_poisoned t i =
+  if Session.wal_poisoned (Shard.session t.shards.(i)) then
+    Supervisor.report_failure t.sup i ~reason:"wal poisoned"
+
+let guarded_submit t i bop =
+  match Supervisor.guard t.sup i with
+  | Error msg -> Error ("unavailable", msg)
+  | Ok () ->
+    let reply =
+      Supervisor.protect t.sup i
+        ~fallback:(fun _ -> mid_op_unavailable)
+        (fun () -> Shard.submit t.shards.(i) bop)
+    in
+    check_poisoned t i;
+    reply
+
 (* Two-phase apply of an op whose path spans shards: durable prepare,
    home-shard apply (its own WAL + group commit), durable done.  The
    xid — the client's idempotency id when it sent one — rides as the
    op's [req] on the home shard, so replaying a prepare after a crash
-   cannot double-apply. *)
+   cannot double-apply.  Callers have already health-gated every
+   participant, so a prepare is only written while all of them serve;
+   if the home shard dies under the op anyway, the done record is still
+   appended — the op either reached the shard's own WAL (shard recovery
+   replays it) or never did (the client was answered ["unavailable"]
+   and retries) — so no orphan prepare outlives the call. *)
 let cross_submit t ~home ~req ~journal_op ~batch_op_of_xid =
   match t.coord with
   | None ->
     (* Not durable: no intent to persist, just route to the home shard. *)
-    Shard.submit t.shards.(home) (batch_op_of_xid req)
+    guarded_submit t home (batch_op_of_xid req)
   | Some coord ->
     let xid =
       match req with
@@ -323,7 +429,12 @@ let cross_submit t ~home ~req ~journal_op ~batch_op_of_xid =
           (Journal.Cross_prepare { xid; home; op = journal_op xid });
         coord.prepares <- coord.prepares + 1;
         coord.inflight <- coord.inflight + 1);
-    let reply = Shard.submit t.shards.(home) (batch_op_of_xid (Some xid)) in
+    let reply =
+      Supervisor.protect t.sup home
+        ~fallback:(fun _ -> mid_op_unavailable)
+        (fun () -> Shard.submit t.shards.(home) (batch_op_of_xid (Some xid)))
+    in
+    check_poisoned t home;
     Locked.with_lock coord.lock (fun () ->
         Journal.append coord.journal (Journal.Cross_done { xid });
         coord.inflight <- coord.inflight - 1;
@@ -341,11 +452,25 @@ let arrive t ?req ~id ~rate ~path () =
   match decision with
   | Error _ as e -> e
   | Ok decision -> (
-    let home, cross =
+    let home, cross, spans =
       match decision with
-      | Router.Local s -> (s, false)
-      | Router.Cross { home; _ } -> (home, true)
+      | Router.Local s -> (s, false, [ s ])
+      | Router.Cross { home; spans } -> (home, true, spans)
     in
+    (* Health-gate every participant BEFORE the coordinator writes a
+       prepare: a cross-shard op refused here aborts cleanly, with no
+       orphan prepare for recovery to chase. *)
+    let down =
+      List.find_map
+        (fun s ->
+          match Supervisor.guard t.sup s with
+          | Ok () -> None
+          | Error msg -> Some msg)
+        spans
+    in
+    match down with
+    | Some msg -> Error ("unavailable", msg)
+    | None -> (
     (* Global duplicate-id check: each session only knows its own flows,
        so an id resident on another shard must be refused here.  A retry
        (same path, hence same route) lands on its own shard instead and
@@ -363,21 +488,17 @@ let arrive t ?req ~id ~rate ~path () =
               Journal.Arrive { id; rate; path; req = Some xid })
             ~batch_op_of_xid:(fun req ->
               Session.Batch_arrive { req; id; rate; path })
-        else
-          Shard.submit t.shards.(home)
-            (Session.Batch_arrive { req; id; rate; path })
+        else guarded_submit t home (Session.Batch_arrive { req; id; rate; path })
       in
       (match reply with
       | Ok _ -> Router.assign t.router ~flow_id:id ~shard:home
       | Error _ -> ());
       tag_shard t ~shard:home ~cross reply
-      end)
+      end))
 
 let depart t ?req ?shard_hint flow_id =
   let home = Router.route_depart t.router ?hint:shard_hint ~flow_id () in
-  let reply =
-    Shard.submit t.shards.(home) (Session.Batch_depart { req; flow_id })
-  in
+  let reply = guarded_submit t home (Session.Batch_depart { req; flow_id }) in
   (match reply with
   | Ok _ -> Router.release t.router ~flow_id
   | Error _ -> ());
@@ -397,29 +518,73 @@ let combined_live_instance t =
   Tdmd.Instance.make ~graph:t.general.Tdmd.Instance.graph ~flows
     ~lambda:t.general.Tdmd.Instance.lambda
 
+(* Read-only ops against live state while a shard is down: refused by
+   default (the live union would silently miss the recovering shard's
+   churn), answered from the last applied state and flagged
+   ["degraded": true] under [serve --degraded-reads].  Static solves
+   are pure functions of the immutable static instance and are never
+   gated. *)
+type read_status = Read_ok | Read_degraded | Read_unavailable of string
+
+let read_status t =
+  if Supervisor.all_serving t.sup then Read_ok
+  else if t.degraded_reads then Read_degraded
+  else
+    Read_unavailable
+      "a shard is recovering or poisoned; live reads are refused without \
+       --degraded-reads"
+
+let tag_degraded = function
+  | Ok (Json.Obj fields) ->
+    Ok (Json.Obj (fields @ [ ("degraded", Json.Bool true) ]))
+  | (Ok _ | Error _) as r -> r
+
 let solve t ~algo ~k ~seed ~target =
   match (target, Array.length t.shards) with
-  | _, 1 | Protocol.Static, _ ->
+  | Protocol.Static, _ ->
     (* Shard 0's session carries the same static instance (and tree
        view) every shard does; with one shard this IS the pre-shard
        path, bit for bit. *)
     Session.solve (Shard.session t.shards.(0)) ~algo ~k ~seed ~target
-  | Protocol.Live, _ -> (
-    match combined_live_instance t with
-    | inst -> Session.solve_on_instance ~algo ~k ~seed ~target inst
-    | exception Invalid_argument msg -> Error ("internal", msg))
+  | Protocol.Live, n -> (
+    match read_status t with
+    | Read_unavailable msg -> Error ("unavailable", msg)
+    | (Read_ok | Read_degraded) as st ->
+      let reply =
+        if n = 1 then
+          Session.solve (Shard.session t.shards.(0)) ~algo ~k ~seed ~target
+        else begin
+          match combined_live_instance t with
+          | inst -> Session.solve_on_instance ~algo ~k ~seed ~target inst
+          | exception Invalid_argument msg -> Error ("internal", msg)
+        end
+      in
+      if st = Read_degraded then tag_degraded reply else reply)
 
 let solve_anytime t ~algo ~k ~seed ~target ~budget_ms =
   match (target, Array.length t.shards) with
-  | _, 1 | Protocol.Static, _ ->
+  | Protocol.Static, _ ->
     Session.solve_anytime
       (Shard.session t.shards.(0))
       ~algo ~k ~seed ~target ~budget_ms
-  | Protocol.Live, _ -> (
-    match combined_live_instance t with
-    | inst ->
-      Session.solve_anytime_on_instance ~algo ~k ~seed ~target ~budget_ms inst
-    | exception Invalid_argument msg -> Error ("internal", msg))
+  | Protocol.Live, n -> (
+    match read_status t with
+    | Read_unavailable msg -> Error ("unavailable", msg)
+    | (Read_ok | Read_degraded) as st ->
+      let reply =
+        if n = 1 then
+          Session.solve_anytime
+            (Shard.session t.shards.(0))
+            ~algo ~k ~seed ~target ~budget_ms
+        else begin
+          match combined_live_instance t with
+          | inst ->
+            Session.solve_anytime_on_instance ~algo ~k ~seed ~target ~budget_ms
+              inst
+          | exception Invalid_argument msg -> Error ("internal", msg)
+        end
+      in
+      if st = Read_degraded then tag_degraded reply else reply)
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
@@ -463,11 +628,16 @@ let churn_stats t =
    and runs on any shard that had not. *)
 let rebalance t ?req ?budget () =
   if Array.length t.shards = 1 then
-    Shard.submit t.shards.(0) (Session.Batch_rebalance { req; budget })
+    guarded_submit t 0 (Session.Batch_rebalance { req; budget })
+  else if not (Supervisor.all_serving t.sup) then
+    (* A partial rebalance (some shards re-placed, one skipped) would
+       leave the fleet optimizing against two different placements;
+       require the whole fleet up and let the client retry. *)
+    Error ("unavailable", "rebalance needs every shard serving; retry")
   else begin
     let replies =
-      Array.map
-        (fun sh -> Shard.submit sh (Session.Batch_rebalance { req; budget }))
+      Array.mapi
+        (fun i _ -> guarded_submit t i (Session.Batch_rebalance { req; budget }))
         t.shards
     in
     match Array.find_opt Result.is_error replies with
@@ -544,19 +714,64 @@ let coord_stats_json coord =
           ("journal_bytes", Json.Int (Journal.size_bytes coord.journal));
         ])
 
+let health_fields t =
+  let hs = Supervisor.health t.sup in
+  [
+    ( "healthy",
+      Json.Bool
+        (Array.for_all (fun h -> h.Supervisor.state = Supervisor.Serving) hs) );
+    ("degraded_reads", Json.Bool t.degraded_reads);
+    ( "shards",
+      Json.List
+        (Array.to_list
+           (Array.mapi
+              (fun i h ->
+                Json.Obj
+                  [
+                    ("shard", Json.Int i);
+                    ( "state",
+                      Json.String (Supervisor.state_to_string h.Supervisor.state)
+                    );
+                    ("restarts", Json.Int h.Supervisor.restarts);
+                    ("recovery_failures", Json.Int h.Supervisor.failures);
+                    ( "consecutive_failures",
+                      Json.Int h.Supervisor.consecutive_failures );
+                    ("breaker_trips", Json.Int h.Supervisor.breaker_trips);
+                    ("last_recovery_ms", Json.Float h.Supervisor.last_recovery_ms);
+                    ( "wal_poisoned",
+                      Json.Bool (Session.wal_poisoned (Shard.session t.shards.(i)))
+                    );
+                  ])
+              hs)) );
+  ]
+
 let stats_fields t =
-  if Array.length t.shards = 1 then Session.durability_stats (single t)
-  else
-    ("shards", Json.List (shard_stats_json t))
-    ::
-    (match t.coord with
-    | Some coord -> [ ("coord", coord_stats_json coord) ]
-    | None -> [])
+  let base =
+    if Array.length t.shards = 1 then Session.durability_stats (single t)
+    else
+      ("shards", Json.List (shard_stats_json t))
+      ::
+      (match t.coord with
+      | Some coord -> [ ("coord", coord_stats_json coord) ]
+      | None -> [])
+  in
+  base @ [ ("health", Json.Obj (health_fields t)) ]
 
 let durability_telemetry t = Session.durability_telemetry (single t)
 
 let close t =
-  Array.iter Shard.close t.shards;
+  (* Join every recovery thread first so a mid-restart shard swap cannot
+     race the closes below. *)
+  Supervisor.shutdown t.sup;
+  Array.iter
+    (fun sh ->
+      try Shard.close sh
+      with Sys_error _ | Unix.Unix_error (_, _, _) ->
+        (* A shard that died and never recovered (poisoned WAL, breaker
+           open) cannot take a final snapshot; retire it without one —
+           the disk already holds everything it acked. *)
+        Session.abandon (Shard.session sh))
+    t.shards;
   match t.coord with
   | None -> ()
   | Some coord ->

@@ -32,7 +32,25 @@
     the recovered sessions' live flows, the partition is recomputed
     (it is a deterministic function of the recovered graph), and the
     coordinator finally replays in-flight cross-shard ops.  A flat
-    (pre-shard) directory recovers as a 1-shard engine. *)
+    (pre-shard) directory recovers as a 1-shard engine.
+
+    {2 Supervision}
+
+    Every durable engine carries a {!Supervisor}: a shard whose leader
+    dies mid-batch ([Faults.Die], a poisoned WAL, a failing disk) is
+    marked [Recovering] and restarted in place — abandon the dead
+    session, {!Session.recover} a replacement from the shard directory,
+    swap it into the shard array and reconcile the router — on a
+    background thread under {!Tdmd_prelude.Backoff}, while every other
+    shard keeps serving.  Ops aimed at a [Recovering] or [Poisoned]
+    shard answer code ["unavailable"] (the server attaches
+    ["retry_after_ms"]); cross-shard arrivals health-gate {e every}
+    participant before the coordinator writes a prepare, so an aborted
+    2PC leaves no orphan prepare behind.  Live reads ({!solve} on
+    [Live], the server's [stats]) are refused while any shard is down
+    unless the engine was built with [~degraded_reads:true], in which
+    case they answer from the last applied state flagged
+    ["degraded": true]. *)
 
 type source =
   | General of Tdmd.Instance.t
@@ -41,6 +59,8 @@ type source =
 type t
 
 val create :
+  ?supervisor:Supervisor.config ->
+  ?degraded_reads:bool ->
   ?config:Session.Config.t ->
   ?shards:int ->
   ?partition:Tdmd_topo.Partition.t ->
@@ -53,7 +73,10 @@ val create :
     [root/shard-<i>/] (or directly in [root] at 1 shard) and the
     coordinator journal at [root/coord.wal].  [config.churn_k] is each
     shard's budget — the sharded live deployment may place up to
-    [shards * churn_k] middleboxes in total.
+    [shards * churn_k] middleboxes in total.  [supervisor] tunes the
+    health state machine ({!Supervisor.default_config} otherwise);
+    [degraded_reads] (default [false]) lets live reads answer flagged
+    ["degraded": true] while a shard is down.
     @raise Invalid_argument on [shards < 1] or a partition that does
     not match [shards]/the instance graph. *)
 
@@ -62,7 +85,11 @@ val of_session : Session.t -> t
     entry point; every call takes the session's own code path). *)
 
 val recover :
-  ?dedup_cap:int -> Session.durability -> (t, string) result
+  ?supervisor:Supervisor.config ->
+  ?degraded_reads:bool ->
+  ?dedup_cap:int ->
+  Session.durability ->
+  (t, string) result
 (** Rebuild an engine from a durability root: per-shard recovery, router
     rebuild, coordinator replay (see above).  The shard count is
     detected from the [shard-<i>] directories; a root with none is
@@ -72,6 +99,13 @@ val shard_count : t -> int
 val shard : t -> int -> Shard.t
 val router : t -> Router.t
 val general : t -> Tdmd.Instance.t
+val supervisor : t -> Supervisor.t
+
+val retry_after_ms : t -> int
+(** The supervisor's hint, for the server to attach to ["unavailable"]
+    replies. *)
+
+val degraded_reads : t -> bool
 
 (** {1 Requests} *)
 
@@ -81,11 +115,14 @@ val arrive :
 (** Route by path ownership and submit to the home shard's group-commit
     queue (via the coordinator when the path spans shards).  Sharded
     replies additionally carry ["shard"] and — for spanning paths —
-    ["cross": true]; 1-shard replies are unchanged. *)
+    ["cross": true]; 1-shard replies are unchanged.  Every participant
+    shard is health-gated first: any of them down answers
+    ["unavailable"] before a cross-shard prepare is written. *)
 
 val depart : t -> ?req:string -> ?shard_hint:int -> int -> Session.reply
 (** Route to the flow's remembered home shard ([shard_hint], then shard
-    0, for unknown flows — whose reply is a ["conflict"] refusal). *)
+    0, for unknown flows — whose reply is a ["conflict"] refusal).
+    Health-gated like {!arrive}. *)
 
 val rebalance : t -> ?req:string -> ?budget:int -> unit -> Session.reply
 (** Run one migration-budgeted rebalance pass ({!Session.rebalance}) on
@@ -95,15 +132,21 @@ val rebalance : t -> ?req:string -> ?budget:int -> unit -> Session.reply
     idempotent shard by shard).  1 shard: the session's reply verbatim.
     Sharded: aggregated churn stats plus the resolved ["budget"] and the
     summed ["moves_used"]; ["dedup": true] only when every shard
-    suppressed the retry. *)
+    suppressed the retry.  Requires {e every} shard [Serving] (a partial
+    rebalance would leave shards optimizing against different
+    placements); otherwise ["unavailable"]. *)
 
 val solve :
   t -> algo:string -> k:int -> seed:int -> target:Protocol.solve_target ->
   Session.reply
-(** [Static] targets (and everything at 1 shard) dispatch through shard
-    0's session, bit-identically to the pre-shard engine.  A sharded
-    [Live] solve runs the general-registry solver over the union of all
-    shards' flows in shard-major order. *)
+(** [Static] targets dispatch through shard 0's session,
+    bit-identically to the pre-shard engine, and are never health-gated
+    (they are a pure function of the immutable static instance).  A
+    [Live] solve (1 shard: the session's own churn state; sharded: the
+    union of all shards' flows in shard-major order) is refused with
+    ["unavailable"] while any shard is down, unless [degraded_reads] is
+    set — then it answers from the last applied state flagged
+    ["degraded": true]. *)
 
 val solve_anytime :
   t ->
@@ -126,13 +169,30 @@ val churn_stats : t -> (string * Protocol.Json.t) list
     union; ["feasible"] is the conjunction. *)
 
 val stats_fields : t -> (string * Protocol.Json.t) list
-(** 1 shard: {!Session.durability_stats} verbatim.  Sharded: a
-    ["shards"] list (per shard: flows, queue depth/peak, group-commit
-    batch counters) plus a ["coord"] object when durable. *)
+(** 1 shard: {!Session.durability_stats}, plus the ["health"] object.
+    Sharded: a ["shards"] list (per shard: flows, queue depth/peak,
+    group-commit batch counters) plus a ["coord"] object when durable,
+    plus ["health"]. *)
+
+val health_fields : t -> (string * Protocol.Json.t) list
+(** The [health] RPC / [stats.health] payload: ["healthy"] (every shard
+    [Serving]), ["degraded_reads"], and per shard its state, restart and
+    recovery-failure counters, breaker trips, last recovery duration and
+    ["wal_poisoned"]. *)
+
+type read_status = Read_ok | Read_degraded | Read_unavailable of string
+
+val read_status : t -> read_status
+(** How a live read-only op should answer right now: normally, flagged
+    degraded, or refused (the server gates [stats] with this; {!solve}
+    applies it internally). *)
 
 val durability_telemetry : t -> Tdmd_obs.Telemetry.t
 (** Shard 0's session telemetry (the only shard at [--shards 1]; tests
     read it while the engine is quiescent). *)
 
 val close : t -> unit
-(** Close every shard (final snapshots) and the coordinator journal. *)
+(** Join the supervisor's recovery threads, close every shard (final
+    snapshots; a shard whose journal is poisoned or whose disk fails is
+    abandoned without one — its WAL already holds everything acked) and
+    the coordinator journal. *)

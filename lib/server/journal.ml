@@ -363,3 +363,11 @@ let poisoned t = t.poisoned
 let close t =
   (match t.fsync with Never -> () | Always | Every_n _ -> sync t);
   try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Supervised restart path: the journal is being replaced by a fresh
+   recovery, so a final sync would only re-raise whatever poisoned it.
+   Just drop the descriptor (releasing the lock) without promising
+   anything about the unsynced tail. *)
+let abandon t =
+  t.poisoned <- true;
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

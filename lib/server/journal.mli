@@ -129,6 +129,12 @@ val size_bytes : t -> int
 val close : t -> unit
 (** Final [sync] (under [Always]/[Every_n]) and release the lock. *)
 
+val abandon : t -> unit
+(** Release the descriptor (and lock) {e without} syncing and poison the
+    handle against further appends: the supervised-restart path, where a
+    fresh recovery is about to replace this journal and a failing final
+    sync must not block it.  Never raises. *)
+
 (** {1 Read-only replay} *)
 
 val replay : string -> (op list * int, string) result

@@ -133,6 +133,7 @@ type request =
   | Depart of int
   | Rebalance of { budget : int option }
   | Stats
+  | Health
   | Shutdown
 
 (* The wire protocol is versioned so routing fields can be added
@@ -183,6 +184,7 @@ let request_to_json ?id ?deadline_ms ?req ?shard_hint request =
          | Some b -> [ ("budget", Json.Int b) ]
          | None -> [])
     | Stats -> [ ("op", Json.String "stats") ]
+    | Health -> [ ("op", Json.String "health") ]
     | Shutdown -> [ ("op", Json.String "shutdown") ]
   in
   let envelope =
@@ -218,6 +220,7 @@ let parse_request json =
   match op with
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
+  | "health" -> Ok Health
   | "shutdown" -> Ok Shutdown
   | "sleep" ->
     let* ms = int_field json "ms" in
@@ -303,10 +306,17 @@ let id_field = function Some v -> [ ("id", v) ] | None -> []
 
 let ok ?id fields = Json.Obj ((("ok", Json.Bool true) :: id_field id) @ fields)
 
-let error ?id ~code msg =
+(* [retry_after_ms] is a V1-additive hint on retryable errors (today:
+   ["unavailable"] while a shard recovers) — old clients ignore the
+   extra field and keep their own jittered schedule. *)
+let error ?id ?retry_after_ms ~code msg =
   Json.Obj
     ((("ok", Json.Bool false) :: id_field id)
-    @ [ ("code", Json.String code); ("error", Json.String msg) ])
+    @ [ ("code", Json.String code); ("error", Json.String msg) ]
+    @
+    match retry_after_ms with
+    | Some ms -> [ ("retry_after_ms", Json.Int ms) ]
+    | None -> [])
 
 (* A shard-aware deployment can answer "not mine, ask that replica":
    the client reconnects to ["redirect"] and resends once. *)

@@ -91,6 +91,10 @@ type request =
           [>= 0] and defaults to the server's configured migration
           budget *)
   | Stats
+  | Health
+      (** lightweight per-shard health probe: answered inline by the
+          reader thread (never queued), so it works even while every
+          worker is busy or a shard is down *)
   | Shutdown
 
 type version = V1  (** today's frames, byte-for-byte the pre-versioned wire *)
@@ -125,7 +129,7 @@ val request_of_json : Json.t -> (envelope, string) result
 val ok : ?id:Json.t -> (string * Json.t) list -> Json.t
 (** [{"ok": true, "id": id?, ...fields}]. *)
 
-val error : ?id:Json.t -> code:string -> string -> Json.t
+val error : ?id:Json.t -> ?retry_after_ms:int -> code:string -> string -> Json.t
 (** [{"ok": false, "id": id?, "code": code, "error": msg}].  Codes in
     use: ["bad-request"] (unparseable frame / unknown op / invalid
     arguments), ["unknown-algo"] (name not in the registry; the message
@@ -133,7 +137,11 @@ val error : ?id:Json.t -> code:string -> string -> Json.t
     later), ["deadline"] (queueing budget expired before execution —
     never emitted for [solve], which answers anytime instead),
     ["shutting-down"] (server is draining), ["conflict"] (e.g.
-    duplicate flow id), ["redirect"] (see {!redirect}). *)
+    duplicate flow id), ["unavailable"] (the owning shard is recovering
+    or poisoned — retry later), ["redirect"] (see {!redirect}).
+    [retry_after_ms] adds an optional ["retry_after_ms"] integer (a
+    V1-additive server hint on retryable errors; older clients ignore
+    it). *)
 
 val redirect : ?id:Json.t -> addr -> Json.t
 (** [{"ok": false, "code": "redirect", "redirect": "<addr>", ...}] — a

@@ -115,6 +115,7 @@ let op_counter = function
   | Protocol.Depart _ -> "op_depart"
   | Protocol.Rebalance _ -> "op_rebalance"
   | Protocol.Stats -> "op_stats"
+  | Protocol.Health -> "op_health"
   | Protocol.Shutdown -> "op_shutdown"
 
 let execute t ?req ?shard_hint (request : Protocol.request) : Session.reply =
@@ -143,16 +144,37 @@ let execute t ?req ?shard_hint (request : Protocol.request) : Session.reply =
     | Ok (Json.Obj fields) -> Ok (Protocol.ok fields)
     | Ok other -> Ok (Protocol.ok [ ("result", other) ])
     | Error _ as e -> e)
-  | Protocol.Stats -> Ok (Protocol.ok (stats_fields t))
+  | Protocol.Stats -> (
+    (* Stats aggregates live churn across every shard; while one is down
+       the aggregate would silently under-count, so it is gated exactly
+       like a live solve.  The [health] op below stays available for
+       observing the outage itself. *)
+    match Engine.read_status t.engine with
+    | Engine.Read_unavailable msg -> Error ("unavailable", msg)
+    | Engine.Read_ok -> Ok (Protocol.ok (stats_fields t))
+    | Engine.Read_degraded ->
+      Ok (Protocol.ok (stats_fields t @ [ ("degraded", Json.Bool true) ])))
+  | Protocol.Health ->
+    Ok
+      (Protocol.ok
+         (("op", Json.String "health") :: Engine.health_fields t.engine))
   | Protocol.Shutdown -> Ok (Protocol.ok [ ("op", Json.String "shutdown") ])
 
-let reply_with_id id = function
+let reply_with_id t id = function
   | Ok (Json.Obj (("ok", ok_v) :: rest)) -> (
     match id with
     | Some idv -> Json.Obj (("ok", ok_v) :: ("id", idv) :: rest)
     | None -> Json.Obj (("ok", ok_v) :: rest))
   | Ok other -> other
-  | Error (code, msg) -> Protocol.error ?id ~code msg
+  | Error (code, msg) ->
+    (* [unavailable] carries the supervisor's retry hint so clients back
+       off for as long as a recovery typically takes instead of
+       hammering a shard that cannot answer yet. *)
+    let retry_after_ms =
+      if code = "unavailable" then Some (Engine.retry_after_ms t.engine)
+      else None
+    in
+    Protocol.error ?id ?retry_after_ms ~code msg
 
 (* The pool job for a compute op: deadline check, execute, reply,
    record latency. *)
@@ -214,7 +236,7 @@ let run_job t conn (env : Protocol.envelope) ~enqueued_ns =
     (match result with
     | Ok _ -> count t "completed" 1
     | Error _ -> count t "errors" 1);
-    send t conn (reply_with_id env.Protocol.id result);
+    send t conn (reply_with_id t env.Protocol.id result);
     record_latency t
       (Int64.to_float (Int64.sub (Tdmd_obs.Clock.now_ns ()) enqueued_ns) /. 1e9)
   end
@@ -261,14 +283,20 @@ let reader t conn () =
         end
         else begin
           match env.Protocol.request with
-          | Protocol.Ping | Protocol.Stats ->
-            (* Answered inline: cheap, and must work under full load. *)
-            count t "completed" 1;
-            send t conn (reply_with_id env.Protocol.id (execute t env.Protocol.request));
+          | Protocol.Ping | Protocol.Stats | Protocol.Health ->
+            (* Answered inline: cheap, and must work under full load —
+               [health] especially must answer while shards recover. *)
+            (match execute t env.Protocol.request with
+            | Ok _ as r ->
+              count t "completed" 1;
+              send t conn (reply_with_id t env.Protocol.id r)
+            | Error _ as r ->
+              count t "errors" 1;
+              send t conn (reply_with_id t env.Protocol.id r));
             loop ()
           | Protocol.Shutdown ->
             count t "completed" 1;
-            send t conn (reply_with_id env.Protocol.id (execute t env.Protocol.request));
+            send t conn (reply_with_id t env.Protocol.id (execute t env.Protocol.request));
             Atomic.set t.stop_flag true;
             loop ()
           | Protocol.Sleep _ | Protocol.Solve _ | Protocol.Arrive _

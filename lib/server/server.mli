@@ -4,13 +4,19 @@
 
     - one {e acceptor} systhread blocks in [accept];
     - one {e reader} systhread per connection parses frames and replies
-      to control ops ([ping], [stats], [shutdown]) inline, so the
-      server stays observable even when every worker is busy;
+      to control ops ([ping], [stats], [health], [shutdown]) inline, so
+      the server stays observable even when every worker is busy;
     - compute ops ([solve], [arrive], [depart], [sleep]) are submitted
       to a {!Tdmd_prelude.Parallel.Pool} of worker {e domains} with a
       bounded queue — a full queue answers ["overloaded"] immediately
       (backpressure), and a request whose ["deadline_ms"] expires while
       queued is answered ["deadline"] without being executed.
+
+    Health-gated routing: an op aimed at a [Recovering]/[Poisoned]
+    shard (and [stats]/live solves while any shard is down, unless the
+    engine allows degraded reads) is answered code ["unavailable"] with
+    the supervisor's ["retry_after_ms"] hint attached; [health] always
+    answers inline with {!Engine.health_fields}.
 
     Responses are written under a per-connection lock, so concurrent
     completions interleave at frame granularity.  {!request_stop} (or a

@@ -75,6 +75,11 @@ type t = {
   dedup_cap : int;
   dtel : Tel.t;  (* journal + dedup + snapshot counters, under the lock *)
   durable : durable option;
+  (* Set by [abandon] when a supervisor retires this session in favor of
+     a freshly recovered one.  A retired session answers every op
+     "unavailable" instead of touching state whose journal lock it no
+     longer holds. *)
+  mutable dead : bool;
 }
 
 let dedup_remember ~tel ~cap table order r =
@@ -360,6 +365,7 @@ let make ?durable ~dtel ~dedup_cap ~churn_k ~migration_budget tree general =
     dedup_cap;
     dtel;
     durable;
+    dead = false;
   }
 
 let init_durable ~dtel cfg =
@@ -528,6 +534,7 @@ let recover ?(dedup_cap = default_dedup_cap) cfg =
       dedup_cap;
       dtel;
       durable = Some d;
+      dead = false;
     }
   in
   Ok t
@@ -850,6 +857,11 @@ let apply_batch t ops =
   | [] -> []
   | ops ->
     locked t (fun () ->
+        if t.dead then
+          List.map
+            (fun _ -> Error ("unavailable", "session retired; retry"))
+            ops
+        else begin
         let out = List.map (fun bop -> apply_one_unlocked t bop) ops in
         let flush_result =
           match t.durable with
@@ -868,7 +880,10 @@ let apply_batch t ops =
           (* The fsync failed: every record this batch appended is on
              disk but of unknown durability (the journal is now
              poisoned).  Never ack what we cannot promise. *)
-          List.map (fun (journaled, reply) -> if journaled then Error e else reply) out)
+          List.map
+            (fun (journaled, reply) -> if journaled then Error e else reply)
+            out
+        end)
 
 let arrive t ?req ~id ~rate ~path () =
   match apply_batch t [ Batch_arrive { req; id; rate; path } ] with
@@ -921,12 +936,32 @@ let durability_stats t =
 
 let durability_telemetry t = t.dtel
 
+let wal_poisoned t =
+  locked t (fun () ->
+      match t.durable with
+      | None -> false
+      | Some d -> Journal.poisoned d.journal)
+
 let close t =
   locked t (fun () ->
       match t.durable with
       | None -> ()
+      | Some _ when t.dead -> ()
       | Some d ->
         (* Final snapshot: restart after a clean shutdown replays
            nothing. *)
         write_snapshot t d;
         Journal.close d.journal)
+
+(* Supervised-restart retirement: the caller is about to [recover] a
+   replacement from disk, so no snapshot is written (the journal is the
+   authority) and journal errors are moot — just release the descriptor
+   and fence future ops. *)
+let abandon t =
+  locked t (fun () ->
+      if not t.dead then begin
+        t.dead <- true;
+        match t.durable with
+        | None -> ()
+        | Some d -> Journal.abandon d.journal
+      end)

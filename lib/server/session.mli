@@ -252,6 +252,21 @@ val durability_telemetry : t -> Tdmd_obs.Telemetry.t
     ["snapshots"], ["dedup_hits"], ["dedup_evictions"].  Read it only
     while the session is quiescent. *)
 
+val wal_poisoned : t -> bool
+(** [true] once a failed append/fsync has poisoned the journal — every
+    further mutating op will be refused until the session is recovered.
+    The supervisor polls this after each batch to trigger a restart.
+    Always [false] for non-durable sessions. *)
+
 val close : t -> unit
 (** Durable sessions: write a final snapshot (so a restart replays
-    nothing) and release the journal.  Harmless no-op otherwise. *)
+    nothing) and release the journal.  Harmless no-op otherwise (and on
+    {!abandon}ed sessions). *)
+
+val abandon : t -> unit
+(** Retire the session without a final snapshot: release the journal
+    descriptor (ignoring errors — the journal may be poisoned) and
+    fence all future ops, which answer [Error ("unavailable", _)] from
+    then on.  The supervised-restart path: the on-disk state is the
+    authority and a fresh {!recover} replaces this session.  Idempotent;
+    never raises. *)

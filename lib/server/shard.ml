@@ -6,6 +6,7 @@ type item = { op : Session.batch_op; mutable reply : Session.reply option }
 type t = {
   id : int;
   session : Session.t;
+  faults : Faults.t;
   lock : Mutex.t;
   cond : Condition.t;
   pending : item Queue.t;
@@ -16,10 +17,11 @@ type t = {
   mutable queue_peak : int;
 }
 
-let create ~id session =
+let create ?(faults = Faults.none) ~id session =
   {
     id;
     session;
+    faults;
     lock = Mutex.create ();
     cond = Condition.create ();
     pending = Queue.create ();
@@ -57,7 +59,20 @@ let run_leader t =
     | None -> ()
     | Some items ->
       let replies =
-        try Session.apply_batch t.session (List.map (fun i -> i.op) items)
+        try
+          (* [shard.apply] fires before anything reaches the session: a
+             [die] here kills the leader with the batch cleanly
+             un-applied.  [shard.apply.post] fires after the batch is
+             applied and durable but before any waiter is acked — the
+             harshest exactly-once window, where only the journaled
+             dedup ids stand between a client retry and a double
+             apply. *)
+          Faults.hit t.faults "shard.apply";
+          let replies =
+            Session.apply_batch t.session (List.map (fun i -> i.op) items)
+          in
+          Faults.hit t.faults "shard.apply.post";
+          replies
         with e ->
           (* Faults.Crash (the process is "dying") or something
              apply_batch does not map to a reply: unblock every waiter
@@ -69,8 +84,9 @@ let run_leader t =
                   item.reply <-
                     Some
                       (Error
-                         ( "internal",
-                           "shard leader failed; op may or may not be applied" ))
+                         ( "unavailable",
+                           "shard restarting; op may or may not be applied — \
+                            retry with the same req" ))
               in
               List.iter fail items;
               Queue.iter fail t.pending;

@@ -13,9 +13,13 @@
 
 type t
 
-val create : id:int -> Session.t -> t
+val create : ?faults:Faults.t -> id:int -> Session.t -> t
 (** Wrap a session as shard [id].  The shard owns the session: close it
-    via {!close} only. *)
+    via {!close} only.  [faults] arms the leader-loop points
+    ["shard.apply"] (before the batch reaches the session — a [die]
+    kills the leader with the batch un-applied) and ["shard.apply.post"]
+    (batch applied and durable, waiters not yet acked — the
+    exactly-once-under-retry window). *)
 
 val id : t -> int
 val session : t -> Session.t

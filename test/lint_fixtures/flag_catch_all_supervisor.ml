@@ -1,0 +1,8 @@
+(* must-flag: a supervisor-style absorb-and-restart site written as a
+   bare catch-all (line 6) — even aliased, [_ as e] still matches
+   Out_of_memory and Stack_overflow *)
+let protect report fallback run =
+  try run ()
+  with _ as e ->
+    report (Printexc.to_string e);
+    fallback "shard failed"

@@ -1,0 +1,10 @@
+(* must-pass: the sanctioned absorb-and-restart site — one catch-all in
+   the whole server, suppressed with a reason, mirroring
+   Supervisor.protect (which re-raises Faults.Crash first) *)
+let protect report fallback run =
+  try run ()
+  with
+  (* tdmd-lint: allow catch-all — the supervisor's single sanctioned absorb-and-restart site; Crash is re-raised before this handler runs *)
+  | _ as e ->
+    report (Printexc.to_string e);
+    fallback "shard failed"

@@ -14,6 +14,7 @@ module Journal = Tdmd_server.Journal
 module Faults = Tdmd_server.Faults
 module Server = Tdmd_server.Server
 module Client = Tdmd_server.Client
+module Supervisor = Tdmd_server.Supervisor
 module Pt = Tdmd_topo.Partition
 module Sc = Tdmd_sim.Scenario
 
@@ -651,6 +652,62 @@ let test_client_redirect_loop_surfaces () =
   Client.close c
 
 (* ------------------------------------------------------------------ *)
+(* Client retry budget and retry_after_ms                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_retry_budget_exhausted () =
+  let addr = temp_addr () in
+  let hits = Atomic.make 0 in
+  let stop =
+    fake_replica addr (fun _ ->
+        Atomic.incr hits;
+        P.error ~retry_after_ms:3 ~code:"unavailable" "shard restarting")
+  in
+  Fun.protect ~finally:stop @@ fun () ->
+  let c = Client.connect ~seed:7 addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match
+    Client.rpc_retry c
+      ~policy:(Backoff.policy ~base:0.001 ~cap:0.002 ~max_attempts:2 ())
+      P.Ping
+  with
+  | Ok _ -> Alcotest.fail "a permanently unavailable server must exhaust"
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "flagged budget-exhausted (%s)" msg)
+      true
+      (Client.budget_exhausted msg);
+    (* max_attempts 2 = the initial try plus two retries. *)
+    Alcotest.(check int) "three attempts on the wire" 3 (Atomic.get hits)
+
+let test_client_retry_honors_hint () =
+  let addr = temp_addr () in
+  let hits = Atomic.make 0 in
+  let stop =
+    fake_replica addr (fun _ ->
+        if Atomic.fetch_and_add hits 1 < 2 then
+          P.error ~retry_after_ms:25 ~code:"unavailable" "shard recovering"
+        else P.ok [])
+  in
+  Fun.protect ~finally:stop @@ fun () ->
+  let c = Client.connect ~seed:7 addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  (match
+     Client.rpc_retry c
+       ~policy:(Backoff.policy ~base:0.001 ~cap:1.0 ~max_attempts:5 ())
+       P.Ping
+   with
+  | Ok resp ->
+    Alcotest.(check bool) "answered once the shard is back" true
+      (Json.member "ok" resp = Some (Json.Bool true))
+  | Error e -> Alcotest.failf "retry through recovery failed: %s" e);
+  Alcotest.(check int) "two refusals then success" 3 (Atomic.get hits);
+  (* The two waits took the server's 25 ms hint, not the 1 ms base. *)
+  Alcotest.(check bool) "server hint honored" true
+    (Unix.gettimeofday () -. t0 >= 0.03)
+
+(* ------------------------------------------------------------------ *)
 (* Journal codec: cross-shard records                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -681,6 +738,252 @@ let test_cross_record_codec () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "nested cross record must be refused"
 
+(* ------------------------------------------------------------------ *)
+(* Supervision: degradation arc, breaker trip, 2PC abort, lost acks    *)
+(* ------------------------------------------------------------------ *)
+
+(* A 2-shard durable engine over the 6-line (shard 0 owns {0, 1},
+   shard 1 owns {2..5}) with a fault plan and supervisor knobs chosen
+   per test.  fsync Always + snapshot_every 0 keeps each shard's whole
+   applied timeline in one journal. *)
+let sup_create ~spec ~sup_cfg ?degraded_reads dir =
+  let faults =
+    match Faults.of_spec spec with Ok t -> t | Error m -> Alcotest.fail m
+  in
+  let cfg =
+    Session.durability ~fsync:Journal.Always ~snapshot_every:0 ~faults dir
+  in
+  Engine.create ~supervisor:sup_cfg ?degraded_reads
+    ~config:(mk_config ~durability:cfg ()) ~shards:2
+    (Engine.General (line_instance 6))
+
+(* Submit a shard-1-local arrive into an armed [die@shard.apply:1]: the
+   leader dies with the batch un-applied, Supervisor.protect absorbs it,
+   and the caller gets the supervised "unavailable" refusal. *)
+let kill_shard1 engine =
+  match Engine.arrive engine ~req:"kill" ~id:7 ~rate:1 ~path:[ 3; 4; 5 ] () with
+  | Error ("unavailable", _) -> ()
+  | r -> Alcotest.failf "killing op: expected unavailable, got %s"
+           (reply_to_string r)
+
+let coord_records dir =
+  match Journal.replay (Filename.concat dir "coord.wal") with
+  | Error msg -> Alcotest.failf "coord.wal replay: %s" msg
+  | Ok (ops, torn) ->
+    Alcotest.(check int) "coord.wal not torn" 0 torn;
+    List.fold_left
+      (fun (prepares, dones) op ->
+        match op with
+        | Journal.Cross_prepare _ -> (prepares + 1, dones)
+        | Journal.Cross_done _ -> (prepares, dones + 1)
+        | _ -> (prepares, dones))
+      (0, 0) ops
+
+(* The full arc: Serving -> failure -> Recovering (ops gated, healthy
+   shards keep serving, live reads refused, static solves untouched) ->
+   supervised restart -> Serving, with the gated ops' retries applying
+   cleanly and the health counters telling the story. *)
+let test_supervised_degradation_arc () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sup_cfg =
+    Supervisor.config ~max_failures:3
+      ~backoff:(Backoff.policy ~base:0.15 ~cap:0.3 ())
+      ~retry_after_ms:7 ()
+  in
+  let engine = sup_create ~spec:"die@shard.apply:1" ~sup_cfg dir in
+  Fun.protect ~finally:(fun () -> Engine.close engine) @@ fun () ->
+  let sup = Engine.supervisor engine in
+  Alcotest.(check int) "retry hint plumbed" 7 (Engine.retry_after_ms engine);
+  kill_shard1 engine;
+  (* report_failure fired synchronously before the refusal returned, and
+     the recovery thread sleeps its 150 ms backoff base first — a
+     deterministic Recovering window for the assertions below. *)
+  Alcotest.(check bool) "shard 1 recovering" true
+    (Supervisor.state sup 1 = Supervisor.Recovering);
+  (match Engine.arrive engine ~req:"a2" ~id:8 ~rate:1 ~path:[ 4; 5 ] () with
+  | Error ("unavailable", _) -> ()
+  | r -> Alcotest.failf "op at recovering shard: %s" (reply_to_string r));
+  ignore
+    (expect_applied "healthy shard serves through the outage"
+       (Engine.arrive engine ~req:"a0" ~id:9 ~rate:1 ~path:[ 0; 1 ] ()));
+  (match Engine.read_status engine with
+  | Engine.Read_unavailable _ -> ()
+  | _ -> Alcotest.fail "live reads must be refused without degraded_reads");
+  (match Engine.solve engine ~algo:"gtp" ~k:2 ~seed:1 ~target:P.Live with
+  | Error ("unavailable", _) -> ()
+  | r -> Alcotest.failf "live solve while down: %s" (reply_to_string r));
+  ignore
+    (expect_applied "static solve never health-gated"
+       (Engine.solve engine ~algo:"gtp" ~k:2 ~seed:1 ~target:P.Static));
+  Alcotest.(check bool) "supervised restart reaches Serving" true
+    (Supervisor.await sup 1 Supervisor.Serving);
+  (* The die fired before apply, so nothing was journaled: both gated
+     ops' retries (same reqs) apply fresh rather than dedup. *)
+  let retried =
+    expect_applied "killed op retried"
+      (Engine.arrive engine ~req:"kill" ~id:7 ~rate:1 ~path:[ 3; 4; 5 ] ())
+  in
+  Alcotest.(check bool) "fresh apply, not dedup" true
+    (Json.member "dedup" retried = None);
+  ignore
+    (expect_applied "gated op retried"
+       (Engine.arrive engine ~req:"a2" ~id:8 ~rate:1 ~path:[ 4; 5 ] ()));
+  let h = (Supervisor.health sup).(1) in
+  Alcotest.(check int) "one supervised restart" 1 h.Supervisor.restarts;
+  Alcotest.(check int) "no breaker trip" 0 h.Supervisor.breaker_trips;
+  Alcotest.(check bool) "healthy again" true
+    (List.assoc "healthy" (Engine.health_fields engine) = Json.Bool true)
+
+(* K consecutive failed recoveries trip the breaker: with every attempt
+   at the sup.recover point dying, the shard lands Poisoned and stays
+   there while the rest of the engine keeps serving. *)
+let test_breaker_trips_to_poisoned () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sup_cfg =
+    Supervisor.config ~max_failures:3
+      ~backoff:(Backoff.policy ~base:0.001 ~cap:0.002 ()) ()
+  in
+  let engine =
+    sup_create ~spec:"die@shard.apply:1;die@sup.recover:p=1;seed=3" ~sup_cfg dir
+  in
+  Fun.protect ~finally:(fun () -> Engine.close engine) @@ fun () ->
+  let sup = Engine.supervisor engine in
+  kill_shard1 engine;
+  Alcotest.(check bool) "breaker trips to Poisoned" true
+    (Supervisor.await sup 1 Supervisor.Poisoned);
+  let h = (Supervisor.health sup).(1) in
+  Alcotest.(check int) "one trip" 1 h.Supervisor.breaker_trips;
+  Alcotest.(check int) "exactly K failed recoveries" 3 h.Supervisor.failures;
+  Alcotest.(check int) "no successful restart" 0 h.Supervisor.restarts;
+  (match Engine.arrive engine ~req:"after" ~id:8 ~rate:1 ~path:[ 4; 5 ] () with
+  | Error ("unavailable", _) -> ()
+  | r -> Alcotest.failf "op at poisoned shard: %s" (reply_to_string r));
+  (* No new recovery episode: poisoned means an operator problem, not a
+     crash loop. *)
+  Alcotest.(check bool) "stays poisoned" true
+    (Supervisor.state sup 1 = Supervisor.Poisoned);
+  Alcotest.(check bool) "health says unhealthy" true
+    (List.assoc "healthy" (Engine.health_fields engine) = Json.Bool false);
+  ignore
+    (expect_applied "healthy shard serves past the trip"
+       (Engine.arrive engine ~req:"a0" ~id:9 ~rate:1 ~path:[ 0; 1 ] ()))
+
+(* A cross-shard arrive whose non-home participant is down must abort
+   before the coordinator writes anything: no orphan Cross_prepare for
+   recovery to chew on, and the retry commits normally afterwards. *)
+let test_cross_abort_participant_down () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sup_cfg =
+    Supervisor.config ~backoff:(Backoff.policy ~base:0.3 ~cap:0.5 ()) ()
+  in
+  let engine = sup_create ~spec:"die@shard.apply:1" ~sup_cfg dir in
+  Fun.protect ~finally:(fun () -> Engine.close engine) @@ fun () ->
+  let sup = Engine.supervisor engine in
+  kill_shard1 engine;
+  Alcotest.(check bool) "shard 1 recovering" true
+    (Supervisor.state sup 1 = Supervisor.Recovering);
+  (* [0;1;2] is home shard 0 but spans shard 1. *)
+  (match Engine.arrive engine ~req:"x" ~id:8 ~rate:1 ~path:[ 0; 1; 2 ] () with
+  | Error ("unavailable", _) -> ()
+  | r ->
+    Alcotest.failf "cross arrive with participant down: %s"
+      (reply_to_string r));
+  let prepares, dones = coord_records dir in
+  Alcotest.(check int) "no orphan prepare" 0 prepares;
+  Alcotest.(check int) "no stray done" 0 dones;
+  Alcotest.(check bool) "recovers" true
+    (Supervisor.await sup 1 Supervisor.Serving);
+  let retried =
+    expect_applied "cross retry after recovery"
+      (Engine.arrive engine ~req:"x" ~id:8 ~rate:1 ~path:[ 0; 1; 2 ] ())
+  in
+  Alcotest.(check bool) "tagged cross" true
+    (Json.member "cross" retried = Some (Json.Bool true));
+  (* The coordinator counts the retry's prepare and retires it; on disk
+     a retired pair may already be compacted away, so the journal-level
+     invariant is "no prepare without its done". *)
+  (match List.assoc_opt "coord" (Engine.stats_fields engine) with
+  | Some coord ->
+    Alcotest.(check int) "prepared once" 1 (int_field "coord" "prepares" coord);
+    Alcotest.(check int) "nothing in flight" 0
+      (int_field "coord" "inflight" coord)
+  | None -> Alcotest.fail "durable sharded stats must carry \"coord\"");
+  let prepares, dones = coord_records dir in
+  Alcotest.(check int) "every prepare retired" dones prepares
+
+(* The router-reconcile regression the chaos soak caught: a depart that
+   was applied and journaled but whose ack died with the leader must
+   dedup on retry — reconcile keeping the departed flow's routing entry
+   is what steers the retry back to shard 1's recovered dedup table
+   instead of the shard-0 fallback (which would refuse it as
+   "conflict"). *)
+let test_depart_retry_after_lost_ack () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sup_cfg =
+    Supervisor.config ~backoff:(Backoff.policy ~base:0.02 ~cap:0.05 ()) ()
+  in
+  let engine = sup_create ~spec:"die@shard.apply.post:2" ~sup_cfg dir in
+  Fun.protect ~finally:(fun () -> Engine.close engine) @@ fun () ->
+  let sup = Engine.supervisor engine in
+  ignore
+    (expect_applied "arrive"
+       (Engine.arrive engine ~req:"a" ~id:10 ~rate:1 ~path:[ 3; 4; 5 ] ()));
+  (* Second batch at the post-apply point: applied and durable, then the
+     leader dies before acking — the canonical lost ack. *)
+  (match Engine.depart engine ~req:"d" 10 with
+  | Error ("unavailable", _) -> ()
+  | r -> Alcotest.failf "lost-ack depart: %s" (reply_to_string r));
+  Alcotest.(check bool) "recovers" true
+    (Supervisor.await sup 1 Supervisor.Serving);
+  let retried = expect_applied "depart retry" (Engine.depart engine ~req:"d" 10) in
+  Alcotest.(check bool) "suppressed by the recovered dedup table" true
+    (Json.member "dedup" retried = Some (Json.Bool true));
+  (* Churned flows: the arrive and its depart cancelled out exactly
+     once (the seed flow is static and not counted here). *)
+  match List.assoc "flows" (Engine.churn_stats engine) with
+  | Json.Int f -> Alcotest.(check int) "flow departed exactly once" 0 f
+  | _ -> Alcotest.fail "missing flows in churn stats"
+
+(* degraded_reads: live reads answer from the last applied state flagged
+   "degraded": true while a shard is down, and drop the flag once the
+   fleet is healthy again.  Writes stay gated regardless. *)
+let test_degraded_reads () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sup_cfg =
+    Supervisor.config ~backoff:(Backoff.policy ~base:0.2 ~cap:0.3 ()) ()
+  in
+  let engine =
+    sup_create ~spec:"die@shard.apply:1" ~sup_cfg ~degraded_reads:true dir
+  in
+  Fun.protect ~finally:(fun () -> Engine.close engine) @@ fun () ->
+  let sup = Engine.supervisor engine in
+  kill_shard1 engine;
+  Alcotest.(check bool) "read status degraded" true
+    (Engine.read_status engine = Engine.Read_degraded);
+  let live =
+    expect_applied "degraded live solve"
+      (Engine.solve engine ~algo:"gtp" ~k:2 ~seed:1 ~target:P.Live)
+  in
+  Alcotest.(check bool) "flagged degraded" true
+    (Json.member "degraded" live = Some (Json.Bool true));
+  (match Engine.arrive engine ~req:"w" ~id:8 ~rate:1 ~path:[ 4; 5 ] () with
+  | Error ("unavailable", _) -> ()
+  | r -> Alcotest.failf "writes must stay gated when degraded: %s"
+           (reply_to_string r));
+  Alcotest.(check bool) "recovers" true
+    (Supervisor.await sup 1 Supervisor.Serving);
+  let live =
+    expect_applied "clean live solve"
+      (Engine.solve engine ~algo:"gtp" ~k:2 ~seed:1 ~target:P.Live)
+  in
+  Alcotest.(check bool) "flag dropped once healthy" true
+    (Json.member "degraded" live = None)
+
 let suite =
   [
     Alcotest.test_case "config: defaults and deterministic construction" `Quick
@@ -700,6 +1003,19 @@ let suite =
       test_client_follows_redirect;
     Alcotest.test_case "client: redirect loop surfaces" `Quick
       test_client_redirect_loop_surfaces;
+    Alcotest.test_case "client: retry budget exhausts" `Quick
+      test_client_retry_budget_exhausted;
+    Alcotest.test_case "client: honors retry_after_ms" `Quick
+      test_client_retry_honors_hint;
     Alcotest.test_case "journal: cross record codec" `Quick
       test_cross_record_codec;
+    Alcotest.test_case "supervised: degradation arc" `Quick
+      test_supervised_degradation_arc;
+    Alcotest.test_case "supervised: breaker trips to poisoned" `Quick
+      test_breaker_trips_to_poisoned;
+    Alcotest.test_case "supervised: 2PC aborts with participant down" `Quick
+      test_cross_abort_participant_down;
+    Alcotest.test_case "supervised: lost-ack depart retry dedups" `Quick
+      test_depart_retry_after_lost_ack;
+    Alcotest.test_case "supervised: degraded reads" `Quick test_degraded_reads;
   ]

@@ -345,6 +345,89 @@ let test_fault_spec () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "empty point must be rejected"
 
+(* The PR 9 grammar extensions: probabilistic [:p=] triggers and the
+   [die]/[delay] kinds, plus the conflict checks that keep a plan
+   deterministic. *)
+let test_fault_spec_extended () =
+  let ok name spec =
+    match Faults.of_spec spec with
+    | Ok t -> Alcotest.(check bool) name true (Faults.enabled t)
+    | Error msg -> Alcotest.failf "%s: %s" name msg
+  in
+  let contains msg needle =
+    let n = String.length msg and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub msg i m = needle || go (i + 1)) in
+    go 0
+  in
+  let refused name spec needle =
+    match Faults.of_spec spec with
+    | Error msg ->
+      if not (contains msg needle) then
+        Alcotest.failf "%s: error %S does not mention %S" name msg needle
+    | Ok _ -> Alcotest.failf "%s: %S must be rejected" name spec
+  in
+  ok "die kind" "die@shard.apply:1";
+  ok "delay kind" "delay@shard.apply:p=0.5";
+  ok "p=1 is a valid probability" "die@p:p=1";
+  ok "trigger defaults to :1" "delay@p";
+  refused "p=0" "die@p:p=0" "probability";
+  refused "p>1" "die@p:p=1.5" "probability";
+  refused "malformed trigger" "die@p:often" "trigger";
+  (* Conflicts: a plan where two raising kinds could fire on the same
+     pass of one point is ambiguous, not deterministic. *)
+  refused "exact duplicate" "die@p:2;die@p:2" "duplicate";
+  refused "two raising kinds, same nth" "crash@p:2;die@p:2" "conflicting";
+  refused "raising prob coincides with raising nth" "crash@p:p=0.5;die@p:7"
+    "conflicting";
+  (* Non-raising kinds coexist freely, with each other and with one
+     raising kind; distinct points never conflict. *)
+  ok "non-raising pair at one point" "short@p:2;eintr@p:2";
+  ok "delay beside a raising kind" "delay@p:p=0.5;die@p:p=0.5";
+  ok "raising kinds at distinct points" "die@p:1;die@q:1"
+
+(* Round-trip: [of_spec . to_spec = id] over the full grammar.  Points
+   are made distinct by index so generated plans never trip the
+   conflict check — conflicts are covered deterministically above. *)
+let fault_spec_gen =
+  let open QCheck.Gen in
+  let kind =
+    oneofl [ "crash"; "eintr"; "short"; "corrupt"; "fail"; "die"; "delay" ]
+  in
+  let trigger =
+    oneof
+      [
+        map (Printf.sprintf ":%d") (int_range 1 99);
+        map (Printf.sprintf ":p=%.17g") (float_range 1e-6 1.0);
+      ]
+  in
+  let* n = int_range 1 5 in
+  let* kinds = list_repeat n kind in
+  let* triggers = list_repeat n trigger in
+  let* seed = int_bound 9999 in
+  let directives =
+    List.mapi
+      (fun i (k, trig) -> Printf.sprintf "%s@pt%d%s" k i trig)
+      (List.combine kinds triggers)
+  in
+  let parts =
+    if seed = 0 then directives
+    else directives @ [ Printf.sprintf "seed=%d" seed ]
+  in
+  return (String.concat ";" parts)
+
+let prop_fault_spec_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"fault spec: of_spec . to_spec = id"
+    (QCheck.make ~print:Fun.id fault_spec_gen)
+    (fun spec ->
+      match Faults.of_spec spec with
+      | Error _ -> false
+      | Ok t -> (
+        Faults.to_spec t = spec
+        &&
+        match Faults.of_spec (Faults.to_spec t) with
+        | Ok t' -> Faults.to_spec t' = spec
+        | Error _ -> false))
+
 let test_fault_crash_fires_at_nth () =
   let t =
     match Faults.of_spec "crash@p:3" with Ok t -> t | Error m -> Alcotest.fail m
@@ -706,6 +789,9 @@ let suite =
       test_oversized_record_rejected;
     Alcotest.test_case "fsync policy strings" `Quick test_fsync_policy_strings;
     Alcotest.test_case "fault spec grammar" `Quick test_fault_spec;
+    Alcotest.test_case "fault spec: extended grammar and conflicts" `Quick
+      test_fault_spec_extended;
+    QCheck_alcotest.to_alcotest prop_fault_spec_roundtrip;
     Alcotest.test_case "crash directive fires at nth" `Quick
       test_fault_crash_fires_at_nth;
     Alcotest.test_case "frames survive EINTR + short I/O" `Quick

@@ -36,6 +36,15 @@ let test_catch_all () =
     [ ("catch-all", 3); ("catch-all", 7) ];
   check_hits "catch-all pass" "pass_catch_all.ml" []
 
+(* The supervisor hosts the project's single sanctioned catch-and-restart
+   site: the aliased wildcard [_ as e] is still a catch-all to the rule,
+   and the real site passes only because it carries a reasoned
+   suppression (Supervisor.protect re-raises Faults.Crash first). *)
+let test_catch_all_supervisor () =
+  check_hits "catch-all supervisor" "flag_catch_all_supervisor.ml"
+    [ ("catch-all", 6) ];
+  check_hits "catch-all supervisor pass" "pass_catch_all_supervisor.ml" []
+
 let test_no_direct_io () =
   check_hits "no-direct-io" "flag_no_direct_io.ml"
     [ ("no-direct-io", 3); ("no-direct-io", 6) ];
@@ -195,6 +204,8 @@ let suite =
     Alcotest.test_case "naked-mutex-lock fixtures" `Quick
       test_naked_mutex_lock;
     Alcotest.test_case "catch-all fixtures" `Quick test_catch_all;
+    Alcotest.test_case "catch-all supervisor fixtures" `Quick
+      test_catch_all_supervisor;
     Alcotest.test_case "no-direct-io fixtures" `Quick test_no_direct_io;
     Alcotest.test_case "poly-compare-record fixtures" `Quick
       test_poly_compare_record;
