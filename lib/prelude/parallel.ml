@@ -17,6 +17,7 @@ let map ?(domains = 1) f xs =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && Option.is_none (Atomic.get failure) then begin
           (match f tasks.(i) with
+          (* tdmd-analyze: allow domain-escape — each slot is written by exactly one domain (fetch_and_add hands out distinct indices) and read only after every domain is joined *)
           | v -> results.(i) <- Some v
           | exception e ->
             (* First failure wins; a plain [set] would let a later domain's

@@ -1,0 +1,2 @@
+(* must-flag: a telemetry counter the registry does not know (line 2) *)
+let bump tel = Tel.count tel "bogus_counter" 1

@@ -1,0 +1,10 @@
+(* must-flag: shared mutable state mutated inside a spawned closure
+   without with_lock or Atomic (lines 8 and 9) *)
+let tally = Hashtbl.create 8
+
+let run total =
+  Thread.create
+    (fun () ->
+      total := !total + 1;
+      Hashtbl.replace tally "x" 1)
+    ()

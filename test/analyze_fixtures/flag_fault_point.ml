@@ -1,0 +1,5 @@
+(* must-flag: fault points the registry does not know (a code-declared
+   point at line 2, an injection spec at line 4) *)
+let fire faults = Faults.hit faults "no.such.point"
+
+let inject = "crash@absent.point:1"

@@ -1,0 +1,11 @@
+(* must-flag: deliberate A->B / B->A lock-order cycle *)
+let la = Mutex.create ()
+let lb = Mutex.create ()
+
+let f () =
+  Locked.with_lock la (fun () ->
+      Locked.with_lock lb (fun () -> ()))
+
+let g () =
+  Locked.with_lock lb (fun () ->
+      Locked.with_lock la (fun () -> ()))

@@ -1,0 +1,14 @@
+(* must-flag: lock-order cycle threaded through a callee, so the
+   witness is an interprocedural chain *)
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let take_b () = Locked.with_lock b (fun () -> ())
+
+let f () =
+  Locked.with_lock a (fun () ->
+      take_b ())
+
+let g () =
+  Locked.with_lock b (fun () ->
+      Locked.with_lock a (fun () -> ()))

@@ -1,0 +1,6 @@
+(* must-flag: re-acquiring a held mutex (OCaml Mutex is not reentrant) *)
+let l = Mutex.create ()
+
+let f () =
+  Locked.with_lock l (fun () ->
+      Locked.with_lock l (fun () -> ()))

@@ -1,0 +1,5 @@
+(* must-flag: unregistered wire error codes on both sides of the wire
+   (constructed reply at line 2, client match arm at line 4) *)
+let reply () = Error ("nonsense-code", "boom")
+
+let classify json = match json with Json.String "mystery-code" -> 1 | _ -> 0

@@ -1,0 +1,4 @@
+(* must-flag: wire ops nobody registered (lines 2 and 4) *)
+let bad_request = ("op", Json.String "frobnicate")
+
+let dispatch op = match op with "mystery" -> 1 | _ -> 0

@@ -1,0 +1,14 @@
+(* must-pass: closure-local state, Atomic operations, and
+   with_lock-guarded mutation may all cross a spawn boundary *)
+let lock = Mutex.create ()
+let tally = Hashtbl.create 8
+let hits = Atomic.make 0
+
+let run () =
+  Thread.create
+    (fun () ->
+      let local = Hashtbl.create 4 in
+      Hashtbl.replace local "x" 1;
+      Atomic.incr hits;
+      Locked.with_lock lock (fun () -> Hashtbl.replace tally "x" 1))
+    ()

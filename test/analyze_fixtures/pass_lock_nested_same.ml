@@ -1,0 +1,22 @@
+(* must-pass: sequential re-use of one lock, the same A->B nesting from
+   two call sites, and a spawn under a held lock (the new thread starts
+   with an empty held set) are all legal -- none may be reported as a
+   cycle or a re-entry *)
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let sequential () =
+  Locked.with_lock a (fun () -> ());
+  Locked.with_lock a (fun () -> ())
+
+let nested_ab () =
+  Locked.with_lock a (fun () ->
+      Locked.with_lock b (fun () -> ()))
+
+let nested_ab_again () =
+  Locked.with_lock a (fun () ->
+      Locked.with_lock b (fun () -> ()))
+
+let spawn_under_lock () =
+  Locked.with_lock a (fun () ->
+      Thread.create (fun () -> Locked.with_lock a (fun () -> ())) ())

@@ -1,0 +1,14 @@
+(* must-pass: every wire/fault/counter literal below is in
+   analyze_fixtures/registry.txt, and every registry entry is
+   referenced here (so the orphan check stays quiet too) *)
+let request = ("op", Json.String "ping")
+
+let parse op = match op with "ping" -> true | _ -> false
+
+let reply () = Error ("bad-request", "malformed request")
+
+let fire faults = Faults.hit faults "wal.write"
+
+let inject = "short@wal.write:1"
+
+let bump tel = Tel.count tel "requests" 1

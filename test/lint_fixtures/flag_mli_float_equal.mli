@@ -1,0 +1,4 @@
+(* must-flag: expressions hide inside interface attribute payloads
+   (float-equal at line 4) *)
+val eps : float
+[@@check fun x -> x = 0.0]

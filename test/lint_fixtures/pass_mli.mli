@@ -1,0 +1,2 @@
+(* must-pass: a plain interface has nothing to flag *)
+val solve : budget:int -> int list -> int list

@@ -27,4 +27,5 @@ let () =
       ("churn", Test_churn.suite);
       ("experiments", Test_experiments.suite);
       ("lint", Test_lint.suite);
+      ("analyze", Test_analyze.suite);
     ]

@@ -64,6 +64,13 @@ let test_float_equal () =
     [ ("float-equal", 3); ("float-equal", 6) ];
   check_hits "float-equal pass" "pass_float_equal.ml" []
 
+(* Interfaces are parsed too: expressions only occur inside attribute
+   payloads there, but a float comparison is wrong wherever it hides. *)
+let test_mli_fixtures () =
+  check_hits "float-equal in mli payload" "flag_mli_float_equal.mli"
+    [ ("float-equal", 4) ];
+  check_hits "clean mli" "pass_mli.mli" []
+
 (* ------------------------------------------------------------------ *)
 (* Suppression comments                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -146,7 +153,11 @@ let test_rules_for_path () =
     L.Poly_compare_record true;
   check "but not elsewhere" "lib/server/session.ml" L.Poly_compare_record
     false;
-  check "obj-magic is global" "test/test_heap.ml" L.Obj_magic true
+  check "obj-magic is global" "test/test_heap.ml" L.Obj_magic true;
+  check "an mli inherits its implementation's policy"
+    "lib/server/protocol.mli" L.Bare_unix_io false;
+  check "other interfaces get the default policy" "lib/server/journal.mli"
+    L.Bare_unix_io true
 
 let test_baseline_roundtrip () =
   let d =
@@ -210,6 +221,7 @@ let suite =
     Alcotest.test_case "poly-compare-record fixtures" `Quick
       test_poly_compare_record;
     Alcotest.test_case "float-equal fixtures" `Quick test_float_equal;
+    Alcotest.test_case "mli fixtures" `Quick test_mli_fixtures;
     Alcotest.test_case "suppression: same line" `Quick
       test_suppression_same_line;
     Alcotest.test_case "suppression: previous line" `Quick

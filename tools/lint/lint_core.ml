@@ -1,5 +1,8 @@
-(* tdmd-lint: a compiler-libs AST pass enforcing the repo's
-   concurrency, I/O and exception-safety invariants.
+(* tdmd-lint: a compiler-libs AST pass enforcing the repo's per-file
+   concurrency, I/O and exception-safety invariants.  (Whole-program
+   properties — lock ordering, domain escape, string registries — live
+   in tools/analyze; the shared suppression/baseline/report machinery
+   lives in tools/kit.)
 
    Every rule is grounded in a bug this repo actually shipped: the
    [Obj.magic] heap dummy (PR 2), EINTR-unsafe [Unix.read]/[Unix.write]
@@ -10,7 +13,11 @@
    The pass is purely syntactic (Parsetree + Ast_iterator, no typing
    environment), so the record-compare rule works from identifier-name
    heuristics; the fixture corpus under test/lint_fixtures/ pins down
-   exactly what each rule does and does not flag. *)
+   exactly what each rule does and does not flag.  Both [.ml] and
+   [.mli] files are linted: interfaces carry expressions in attribute
+   payloads and those are held to the same rules. *)
+
+module K = Check_kit
 
 type rule =
   | Obj_magic
@@ -72,33 +79,22 @@ let rule_doc = function
   | Float_equal ->
     "= against a float literal; use Float.equal or an explicit tolerance"
 
-type diagnostic = { file : string; line : int; rule : string; message : string }
+type diagnostic = K.diagnostic = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
 
-let compare_diagnostic a b =
-  match compare a.file b.file with
-  | 0 -> (
-    match compare a.line b.line with 0 -> compare a.rule b.rule | c -> c)
-  | c -> c
-
-let to_string d = Printf.sprintf "%s:%d: [%s] %s" d.file d.line d.rule d.message
+let compare_diagnostic = K.compare_diagnostic
+let to_string = K.to_string
 
 (* ------------------------------------------------------------------ *)
 (* AST checks                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let rec flatten_lid = function
-  | Longident.Lident s -> [ s ]
-  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
-  | Longident.Lapply _ -> []
-
-let rec drop n l =
-  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
-
-(* Matches [segs] at the end of [path], so both [Obj.magic] and
-   [Stdlib.Obj.magic] hit. *)
-let ends_with path segs =
-  let lp = List.length path and ls = List.length segs in
-  lp >= ls && drop (lp - ls) path = segs
+let flatten_lid = K.flatten_lid
+let ends_with = K.ends_with
 
 (* Identifier-name heuristic for the record-compare rule: strip
    trailing digits, primes and underscores, then an optional plural
@@ -147,9 +143,9 @@ let is_catch_all_pattern (p : Parsetree.pattern) =
     true
   | _ -> false
 
-let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+let line_of = K.line_of
 
-let collect ~rules ~file structure =
+let collect ~rules ~file ast =
   let out = ref [] in
   let enabled r = List.mem r rules in
   let add r loc message =
@@ -209,21 +205,21 @@ let collect ~rules ~file structure =
     match ident_path f with
     | None -> ()
     | Some path ->
-      let op = match List.rev path with o :: _ -> o | [] -> "" in
+      let head = match List.rev path with o :: _ -> o | [] -> "" in
       let operands = List.map snd args in
       if
         enabled Float_equal
-        && (op = "=" || op = "<>" || op = "==" || op = "!=")
+        && (head = "=" || head = "<>" || head = "==" || head = "!=")
         && List.exists is_float_literal operands
       then
         add Float_equal loc
           (Printf.sprintf
              "(%s) against a float literal; use Float.equal or an explicit \
               tolerance"
-             op);
+             head);
       if
         enabled Poly_compare_record
-        && (op = "=" || op = "<>"
+        && (head = "=" || head = "<>"
            || path = [ "compare" ]
            || path = [ "Stdlib"; "compare" ])
         && List.exists plain_record_ident operands
@@ -275,149 +271,35 @@ let collect ~rules ~file structure =
           Ast_iterator.default_iterator.Ast_iterator.expr it e);
     }
   in
-  iter.Ast_iterator.structure iter structure;
+  K.iter_ast iter ast;
   !out
-
-(* ------------------------------------------------------------------ *)
-(* Suppression comments                                                *)
-(* ------------------------------------------------------------------ *)
-
-(* [(* tdmd-lint: allow RULE[,RULE]* — reason *)] — the rule list must
-   name known rules and the reason is mandatory.  A suppression covers
-   the line it sits on and the following line, so both trailing and
-   preceding-line comments work. *)
-
-let find_sub s sub from =
-  let n = String.length s and m = String.length sub in
-  let rec go i =
-    if i + m > n then None
-    else if String.sub s i m = sub then Some i
-    else go (i + 1)
-  in
-  go from
-
-let is_separator tok =
-  tok = "\xe2\x80\x94" (* em dash *) || tok = "-" || tok = "--"
-  || String.length tok >= 3 && String.sub tok 0 3 = "\xe2\x80\x94"
-
-let parse_suppression ~file ~line text =
-  (* [text] is everything after "tdmd-lint: allow" up to "*)" or EOL. *)
-  let tokens =
-    String.split_on_char ' ' text
-    |> List.concat_map (String.split_on_char ',')
-    |> List.map String.trim
-    |> List.filter (fun t -> t <> "")
-  in
-  let rec take_rules acc = function
-    | tok :: rest when not (is_separator tok) -> (
-      match rule_of_id tok with
-      | Some r -> take_rules (r :: acc) rest
-      | None -> (List.rev acc, Some tok, rest))
-    | rest -> (List.rev acc, None, rest)
-  in
-  let rules, bad, rest = take_rules [] tokens in
-  let reason =
-    match rest with
-    | sep :: tail when is_separator sep -> String.concat " " tail
-    | tail -> String.concat " " tail
-  in
-  match (rules, bad) with
-  | _, Some tok ->
-    Error
-      {
-        file;
-        line;
-        rule = "suppression";
-        message = Printf.sprintf "unknown rule %S in suppression comment" tok;
-      }
-  | [], None ->
-    Error
-      {
-        file;
-        line;
-        rule = "suppression";
-        message = "suppression comment names no rule";
-      }
-  | rules, None ->
-    if String.trim reason = "" then
-      Error
-        {
-          file;
-          line;
-          rule = "suppression";
-          message =
-            "suppression comment needs a reason: (* tdmd-lint: allow RULE \
-             \xe2\x80\x94 reason *)";
-        }
-    else Ok rules
-
-let scan_suppressions ~file source =
-  let table : (int, rule list) Hashtbl.t = Hashtbl.create 8 in
-  let errors = ref [] in
-  let lines = String.split_on_char '\n' source in
-  List.iteri
-    (fun i line_text ->
-      let line = i + 1 in
-      match find_sub line_text "tdmd-lint: allow" 0 with
-      | None -> ()
-      | Some at ->
-        let start = at + String.length "tdmd-lint: allow" in
-        let stop =
-          match find_sub line_text "*)" start with
-          | Some e -> e
-          | None -> String.length line_text
-        in
-        let text = String.sub line_text start (stop - start) in
-        (match parse_suppression ~file ~line text with
-        | Ok rules ->
-          let prev =
-            match Hashtbl.find_opt table line with Some rs -> rs | None -> []
-          in
-          Hashtbl.replace table line (rules @ prev)
-        | Error d -> errors := d :: !errors))
-    lines;
-  (table, !errors)
-
-let suppressed table rule line =
-  let covers l =
-    match Hashtbl.find_opt table l with
-    | Some rules -> List.exists (fun r -> rule_id r = rule) rules
-    | None -> false
-  in
-  covers line || covers (line - 1)
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let marker = "tdmd-lint"
+let known_rule id = rule_of_id id <> None
+
 let parse_string ~file source =
-  let lexbuf = Lexing.from_string source in
-  Location.init lexbuf file;
-  Parse.implementation lexbuf
+  match K.parse_ast ~file source with
+  | K.Impl s -> s
+  | K.Intf _ -> []
 
 let lint_source ?(rules = all_rules) ~file source =
-  match parse_string ~file source with
-  | exception exn ->
-    let line =
-      match exn with
-      | Syntaxerr.Error e -> line_of (Syntaxerr.location_of_error e)
-      | _ -> 1
+  match K.parse_ast ~file source with
+  | exception exn -> [ K.parse_error_diagnostic ~file exn ]
+  | ast ->
+    let raw = collect ~rules ~file ast in
+    let table, sup_errors =
+      K.scan_suppressions ~marker ~known_rule ~file source
     in
-    [ { file; line; rule = "parse-error"; message = "cannot parse file" } ]
-  | structure ->
-    let raw = collect ~rules ~file structure in
-    let table, sup_errors = scan_suppressions ~file source in
     let kept =
-      List.filter (fun d -> not (suppressed table d.rule d.line)) raw
+      List.filter (fun d -> not (K.suppressed table d.rule d.line)) raw
     in
     List.sort compare_diagnostic (sup_errors @ kept)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
+let read_file = K.read_file
 let lint_file ?rules path = lint_source ?rules ~file:path (read_file path)
 
 (* ------------------------------------------------------------------ *)
@@ -427,13 +309,18 @@ let lint_file ?rules path = lint_source ?rules ~file:path (read_file path)
 (* The repo's scoping contract:
    - obj-magic, float-equal: everywhere;
    - bare-unix-io: everywhere except the EINTR-safe wrappers themselves
-     (lib/server/protocol.ml);
+     (lib/server/protocol.ml and its interface);
    - naked-mutex-lock: everywhere except the combinator's own
      implementation (lib/prelude/locked.ml);
    - no-direct-io: lib/ only (bin/bench/test own their stdout);
    - catch-all: everywhere except test/ (tests may shrug at cleanup);
-   - poly-compare-record: lib/core/ hot paths only. *)
+   - poly-compare-record: lib/core/ hot paths only.
+   An [.mli] inherits the policy of its implementation. *)
 let rules_for_path path =
+  let path =
+    if Filename.check_suffix path ".mli" then Filename.chop_suffix path "i"
+    else path
+  in
   let under dir =
     let p = dir ^ "/" in
     String.length path >= String.length p
@@ -451,51 +338,11 @@ let rules_for_path path =
     all_rules
 
 (* ------------------------------------------------------------------ *)
-(* Baseline                                                            *)
+(* Baseline and reports (shared with tdmd-analyze via Check_kit)       *)
 (* ------------------------------------------------------------------ *)
 
-let baseline_key d = Printf.sprintf "%s:%d:%s" d.file d.line d.rule
-
-let load_baseline path =
-  let table = Hashtbl.create 16 in
-  (if Sys.file_exists path then
-     let content = read_file path in
-     List.iter
-       (fun line ->
-         let line = String.trim line in
-         if line <> "" && line.[0] <> '#' then Hashtbl.replace table line ())
-       (String.split_on_char '\n' content));
-  table
-
-let baseline_entries diagnostics =
-  List.map baseline_key (List.sort compare_diagnostic diagnostics)
-
-(* ------------------------------------------------------------------ *)
-(* JSON report                                                         *)
-(* ------------------------------------------------------------------ *)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let diagnostics_to_json diagnostics =
-  let item d =
-    Printf.sprintf
-      "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
-      (json_escape d.file) d.line (json_escape d.rule) (json_escape d.message)
-  in
-  Printf.sprintf "{\"tool\":\"tdmd-lint\",\"count\":%d,\"violations\":[%s]}"
-    (List.length diagnostics)
-    (String.concat "," (List.map item diagnostics))
+let baseline_key = K.baseline_key
+let load_baseline = K.load_baseline
+let baseline_entries = K.baseline_entries
+let json_escape = K.json_escape
+let diagnostics_to_json diagnostics = K.diagnostics_to_json ~tool:marker diagnostics

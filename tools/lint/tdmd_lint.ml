@@ -1,151 +1,28 @@
 (* Command-line driver for tdmd-lint.
 
    Usage: tdmd_lint [options] PATH...
-   Paths are files or directories (searched recursively for .ml files,
-   skipping _build and .git).  Diagnostics print as
+   Paths are files or directories (searched recursively for .ml/.mli
+   files, skipping _build and .git).  Diagnostics print as
    "file:line: [rule] message"; the exit status is 1 when any
-   non-baselined violation remains, 2 on usage errors. *)
-
-let usage = "tdmd_lint [options] PATH...\nOptions:"
-
-let baseline_file = ref ""
-let update_baseline = ref false
-let json_out = ref ""
-let excludes = ref []
-let list_rules = ref false
-let roots = ref []
-
-let spec =
-  [
-    ( "--baseline",
-      Arg.Set_string baseline_file,
-      "FILE grandfathered violations (one file:line:rule per line)" );
-    ( "--update-baseline",
-      Arg.Set update_baseline,
-      " rewrite the baseline file with every current violation" );
-    ("--json", Arg.Set_string json_out, "FILE write a JSON report");
-    ( "--exclude",
-      Arg.String (fun p -> excludes := p :: !excludes),
-      "PATH skip files under this path (repeatable)" );
-    ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
-  ]
-
-let normalize path =
-  (* "./lib//server" -> "lib/server"; keeps diagnostics and the
-     baseline stable however the tool is invoked. *)
-  let parts =
-    String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
-  in
-  String.concat "/" parts
-
-let excluded path =
-  List.exists
-    (fun e ->
-      let e = normalize e in
-      path = e
-      || String.length path > String.length e
-         && String.sub path 0 (String.length e + 1) = e ^ "/")
-    !excludes
-
-let rec walk acc path =
-  let path = normalize path in
-  if excluded path then acc
-  else if Sys.is_directory path then
-    Array.fold_left
-      (fun acc name ->
-        if name = "_build" || name = ".git" then acc
-        else walk acc (Filename.concat path name))
-      acc
-      (let entries = Sys.readdir path in
-       Array.sort compare entries;
-       entries)
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
+   non-baselined violation remains (or, under --check-baseline, when a
+   baseline entry no longer fires), 2 on usage errors.  All flag
+   handling lives in Check_kit.main, shared with tdmd-analyze. *)
 
 let () =
-  Arg.parse spec (fun p -> roots := p :: !roots) usage;
-  if !list_rules then begin
-    List.iter
-      (fun r ->
-        Printf.printf "%-22s %s\n" (Lint_core.rule_id r) (Lint_core.rule_doc r))
-      Lint_core.all_rules;
-    exit 0
-  end;
-  if !roots = [] then begin
-    prerr_endline "tdmd-lint: no paths given";
-    Arg.usage spec usage;
-    exit 2
-  end;
-  let files =
-    List.sort_uniq compare (List.fold_left walk [] (List.rev !roots))
-  in
-  let diagnostics =
-    List.concat_map
-      (fun file ->
-        let rules = Lint_core.rules_for_path file in
-        Lint_core.lint_file ~rules file)
-      files
-  in
-  let diagnostics = List.sort Lint_core.compare_diagnostic diagnostics in
-  if !update_baseline then begin
-    if !baseline_file = "" then begin
-      prerr_endline "tdmd-lint: --update-baseline needs --baseline FILE";
-      exit 2
-    end;
-    let oc = open_out !baseline_file in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        output_string oc
-          "# tdmd-lint baseline: grandfathered violations (file:line:rule).\n\
-           # Regenerate with: tdmd_lint --baseline FILE --update-baseline \
-           PATH...\n";
-        List.iter
-          (fun entry -> output_string oc (entry ^ "\n"))
-          (Lint_core.baseline_entries diagnostics));
-    Printf.printf "tdmd-lint: baseline updated with %d entries\n"
-      (List.length diagnostics);
-    exit 0
-  end;
-  let baseline =
-    if !baseline_file = "" then Hashtbl.create 1
-    else Lint_core.load_baseline !baseline_file
-  in
-  let fresh, grandfathered =
-    List.partition
-      (fun d -> not (Hashtbl.mem baseline (Lint_core.baseline_key d)))
-      diagnostics
-  in
-  (* Stale baseline entries are fixed sites: prompt for a re-baseline so
-     the file only ever shrinks deliberately. *)
-  let live = Hashtbl.create 16 in
-  List.iter
-    (fun d -> Hashtbl.replace live (Lint_core.baseline_key d) ())
-    grandfathered;
-  Hashtbl.iter
-    (fun key () ->
-      if not (Hashtbl.mem live key) then
-        Printf.eprintf
-          "tdmd-lint: stale baseline entry %s (fixed? run --update-baseline)\n"
-          key)
-    baseline;
-  if !json_out <> "" then begin
-    let oc = open_out !json_out in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        output_string oc (Lint_core.diagnostics_to_json fresh);
-        output_char oc '\n')
-  end;
-  List.iter (fun d -> print_endline (Lint_core.to_string d)) fresh;
-  if fresh <> [] then begin
-    Printf.eprintf
-      "tdmd-lint: %d violation(s) in %d file(s) scanned (%d grandfathered)\n"
-      (List.length fresh) (List.length files)
-      (List.length grandfathered);
-    exit 1
-  end
-  else
-    Printf.eprintf "tdmd-lint: clean — %d file(s) scanned, %d grandfathered\n"
-      (List.length files)
-      (List.length grandfathered)
+  Check_kit.main
+    {
+      Check_kit.name = "tdmd-lint";
+      suffixes = [ ".ml"; ".mli" ];
+      rule_catalogue =
+        List.map
+          (fun r -> (Lint_core.rule_id r, Lint_core.rule_doc r))
+          Lint_core.all_rules;
+      extra_spec = [];
+      analyze =
+        (fun ~files ->
+          List.concat_map
+            (fun file ->
+              let rules = Lint_core.rules_for_path file in
+              Lint_core.lint_file ~rules file)
+            files);
+    }
